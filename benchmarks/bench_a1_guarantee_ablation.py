@@ -1,0 +1,69 @@
+"""A1 [ablation]: the performance guarantee on vs off.
+
+DESIGN.md's S5 at bench scale: on the drifting workload, disabling the
+boost leaves the goal violated for the rest of the run (and saves a
+little more energy — the trade the guarantee exists to refuse).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from bench_f9_boost_timeseries import EPOCH_S, GOAL_S, drift_trace
+from common import bench_array_config, emit
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.core.guarantee import GuaranteeConfig
+from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
+from repro.sim.runner import ArraySimulation
+
+
+def run_both():
+    config = bench_array_config()
+    trace = drift_trace(config.num_extents)
+    prime = np.full(config.num_extents, 12.0 / config.num_extents)
+    prime[: config.num_extents // 8] += 120.0 / (config.num_extents // 8)
+    results = {}
+    for enabled in (True, False):
+        policy = HibernatorPolicy(HibernatorConfig(
+            epoch_seconds=EPOCH_S,
+            prime_rates=prime,
+            guarantee=GuaranteeConfig(enabled=enabled,
+                                      enter_threshold_requests=25.0),
+        ))
+        results[enabled] = (policy, ArraySimulation(
+            trace, config, policy, goal_s=GOAL_S,
+        ).run())
+    return results
+
+
+def test_a1_guarantee_ablation(benchmark):
+    results = run_once(benchmark, run_both)
+    rows = []
+    for enabled in (True, False):
+        policy, result = results[enabled]
+        boosts = policy.boost.boosts_entered if policy.boost else 0
+        rows.append([
+            "on" if enabled else "off",
+            f"{result.mean_response_s * 1e3:.2f}",
+            f"{result.mean_response_s / GOAL_S:.2f}",
+            f"{boosts}",
+            f"{result.energy_joules / 1e3:.1f} kJ",
+        ])
+    emit("A1", format_table(
+        ["guarantee", "mean RT ms", "RT/goal", "boosts", "energy"],
+        rows,
+        title=f"drift workload: guarantee ablation (goal {GOAL_S * 1e3:.0f} ms)",
+    ))
+    _, with_boost = results[True]
+    _, without = results[False]
+    bound = GOAL_S * 1.1 + 25.0 * GOAL_S / with_boost.num_requests
+    # S5: with the boost the average holds; without, the goal is violated.
+    assert with_boost.mean_response_s <= bound
+    assert without.mean_response_s > GOAL_S
+    assert without.mean_response_s > with_boost.mean_response_s
+    # The boost costs energy — that is the deliberate trade.
+    assert with_boost.energy_joules >= without.energy_joules

@@ -1,0 +1,73 @@
+"""A4 [extension]: adaptive epoch length.
+
+Beyond the paper: F6 shows short epochs thrash and long epochs react
+slowly, so let the epoch *adapt* — double it while boundaries keep
+choosing the same configuration, reset it when something changes (a new
+configuration or a boost). On a steady workload the adaptive controller
+should converge to long epochs (fewer reconfigurations, same or better
+energy than the short fixed epoch it started from).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from common import (
+    bench_array_config,
+    bench_hibernator_config,
+    bench_oltp_trace,
+    emit,
+)
+from conftest import run_once
+
+from repro.analysis.experiments import run_single
+from repro.analysis.report import format_table
+from repro.core.hibernator import HibernatorPolicy
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.traces.tracestats import per_extent_rates
+
+BASE_EPOCH_S = 150.0
+
+
+def run_all():
+    trace = bench_oltp_trace()
+    config = bench_array_config()
+    base = run_single(trace, config, AlwaysOnPolicy())
+    goal = 2.0 * base.mean_response_s
+    prime = per_extent_rates(trace)
+    results = {}
+    for adaptive in (False, True):
+        hib_config = dataclasses.replace(
+            bench_hibernator_config(epoch_seconds=BASE_EPOCH_S),
+            adaptive_epochs=adaptive,
+            prime_rates=prime,
+        )
+        policy = HibernatorPolicy(hib_config)
+        results[adaptive] = run_single(trace, config, policy, goal_s=goal)
+    return base, goal, results
+
+
+def test_a4_adaptive_epochs(benchmark):
+    base, goal, results = run_once(benchmark, run_all)
+    rows = [
+        [
+            "adaptive" if adaptive else f"fixed {BASE_EPOCH_S:.0f}s",
+            f"{result.extras['epochs']:.0f}",
+            f"{result.extras['final_epoch_s']:.0f}s",
+            f"{100.0 * result.energy_savings_vs(base):.1f} %",
+            f"{result.mean_response_s * 1e3:.2f} ms",
+        ]
+        for adaptive, result in results.items()
+    ]
+    emit("A4", format_table(
+        ["epochs", "boundaries", "final epoch", "savings", "mean RT"],
+        rows,
+        title="OLTP (steady): fixed vs adaptive epoch length",
+    ))
+    fixed, adaptive = results[False], results[True]
+    # The adaptive run stretches its epoch and reconfigures less often.
+    assert adaptive.extras["final_epoch_s"] > BASE_EPOCH_S
+    assert adaptive.extras["epochs"] < fixed.extras["epochs"]
+    # At no cost in energy or the goal.
+    assert adaptive.energy_savings_vs(base) >= fixed.energy_savings_vs(base) - 0.03
+    assert adaptive.mean_response_s <= goal

@@ -1,0 +1,77 @@
+"""A5 [ablation]: per-disk queue scheduling under Hibernator.
+
+The paper assumes FCFS queues (so does the CR optimizer's M/G/1 model).
+Seek-aware disciplines (SSTF, SCAN) shorten service times when queues
+are deep — which is mostly on Hibernator's slow tiers — so they give
+the response-time budget back a little headroom at no energy cost. This
+bench quantifies that interaction and checks that FCFS-based planning
+is *conservative*: real response times under seek-aware scheduling are
+never worse than the FCFS-planned ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from common import (
+    bench_array_config,
+    bench_hibernator_config,
+    bench_oltp_trace,
+    emit,
+)
+from conftest import run_once
+
+from repro.analysis.experiments import run_single
+from repro.analysis.report import format_table
+from repro.core.hibernator import HibernatorPolicy
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.traces.tracestats import per_extent_rates
+
+SCHEDULERS = ["fcfs", "sstf", "scan"]
+
+
+def run_all():
+    trace = bench_oltp_trace()
+    results = {}
+    bases = {}
+    for scheduler in SCHEDULERS:
+        config = dataclasses.replace(bench_array_config(), scheduler=scheduler)
+        base = run_single(trace, config, AlwaysOnPolicy())
+        goal = 2.0 * bases.setdefault("goal_base", base).mean_response_s
+        hib_config = dataclasses.replace(
+            bench_hibernator_config(), prime_rates=per_extent_rates(trace)
+        )
+        results[scheduler] = (
+            base,
+            run_single(trace, config, HibernatorPolicy(hib_config), goal_s=goal),
+        )
+    return bases["goal_base"], results
+
+
+def test_a5_scheduler(benchmark):
+    goal_base, results = run_once(benchmark, run_all)
+    goal = 2.0 * goal_base.mean_response_s
+    rows = [
+        [
+            scheduler,
+            f"{base.mean_response_s * 1e3:.2f}",
+            f"{hib.mean_response_s * 1e3:.2f}",
+            f"{100.0 * hib.energy_savings_vs(goal_base):.1f} %",
+            "yes" if hib.mean_response_s <= goal else "NO",
+        ]
+        for scheduler, (base, hib) in results.items()
+    ]
+    emit("A5", format_table(
+        ["scheduler", "Base RT ms", "Hibernator RT ms", "savings", "meets goal"],
+        rows,
+        title=f"OLTP: queue discipline ablation (goal {goal * 1e3:.2f} ms)",
+    ))
+    fcfs = results["fcfs"][1]
+    for scheduler in ("sstf", "scan"):
+        hib = results[scheduler][1]
+        # Seek-aware scheduling never hurts the planned outcome...
+        assert hib.mean_response_s <= fcfs.mean_response_s * 1.05
+        # ...and energy stays in the same band (scheduling moves seek
+        # time, not spindle speed).
+        assert abs(hib.energy_joules - fcfs.energy_joules) < 0.1 * fcfs.energy_joules
+        assert hib.mean_response_s <= goal

@@ -1,0 +1,73 @@
+"""A6 [extension]: the oracle gap.
+
+How close does Hibernator get to an unbeatable offline scheme with
+perfect future knowledge and free migration? The gap decomposes the
+remaining opportunity: prediction error (the oracle configures each
+epoch from the *actual* upcoming rates) plus reconfiguration overhead
+(the oracle's migration is free).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from common import (
+    EPOCH_S,
+    bench_array_config,
+    bench_hibernator_config,
+    bench_oltp_trace,
+    emit,
+)
+from conftest import run_once
+
+from repro.analysis.experiments import run_single
+from repro.analysis.report import format_table
+from repro.core.hibernator import HibernatorPolicy
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.policies.oracle import OraclePolicy
+from repro.traces.tracestats import per_extent_rates
+
+
+def run_all():
+    trace = bench_oltp_trace()
+    config = bench_array_config()
+    base = run_single(trace, config, AlwaysOnPolicy())
+    goal = 2.0 * base.mean_response_s
+    hib_config = dataclasses.replace(
+        bench_hibernator_config(), prime_rates=per_extent_rates(trace)
+    )
+    hibernator = run_single(trace, config, HibernatorPolicy(hib_config), goal_s=goal)
+    oracle = run_single(trace, config, OraclePolicy(epoch_seconds=EPOCH_S), goal_s=goal)
+    return base, goal, hibernator, oracle
+
+
+def test_a6_oracle_gap(benchmark):
+    base, goal, hibernator, oracle = run_once(benchmark, run_all)
+    rows = [
+        ["Base", "0.0 %", f"{base.mean_response_s * 1e3:.2f}", "-"],
+        [
+            "Hibernator",
+            f"{100.0 * hibernator.energy_savings_vs(base):.1f} %",
+            f"{hibernator.mean_response_s * 1e3:.2f}",
+            f"{hibernator.migration_extents}",
+        ],
+        [
+            "Oracle (offline bound)",
+            f"{100.0 * oracle.energy_savings_vs(base):.1f} %",
+            f"{oracle.mean_response_s * 1e3:.2f}",
+            "free",
+        ],
+    ]
+    emit("A6", format_table(
+        ["scheme", "savings", "mean RT ms", "migration"],
+        rows,
+        title=f"OLTP: how close is Hibernator to the offline bound? (goal {goal * 1e3:.2f} ms)",
+    ))
+    # The bound is a bound.
+    assert oracle.energy_joules <= hibernator.energy_joules * 1.02
+    # Both respect the goal.
+    assert oracle.mean_response_s <= goal
+    assert hibernator.mean_response_s <= goal
+    # And Hibernator captures most of the clairvoyant opportunity on a
+    # steady workload (the paper's online-vs-offline gap is small).
+    assert hibernator.energy_savings_vs(base) > 0.8 * oracle.energy_savings_vs(base)

@@ -1,0 +1,29 @@
+"""F1 [reconstructed]: energy consumption of each scheme on OLTP.
+
+The paper's headline OLTP figure: Base defines 100%; TPM saves nothing
+(no idle gaps beyond break-even); DRPM saves some; PDC/MAID save little
+or cost extra (migration/copy traffic with no sleep opportunity);
+Hibernator saves the most among schemes that respect the goal.
+"""
+
+from __future__ import annotations
+
+from common import comparison_table, emit, oltp_comparison
+from conftest import run_once
+
+
+def test_f1_oltp_energy(benchmark):
+    comparison = run_once(benchmark, oltp_comparison)
+    emit("F1", comparison_table(comparison, "OLTP: energy and response time by scheme"))
+    # S1: TPM is a no-op on steady OLTP.
+    assert abs(comparison.savings("TPM")) < 0.05
+    assert comparison.results["TPM"].spinups == 0
+    # S1: Hibernator achieves substantial savings (paper: ~29-65%).
+    assert comparison.savings("Hibernator") > 0.25
+    # S2: Hibernator saves the most among schemes that meet the goal.
+    # (Goal-blind schemes may save more — by giving up the goal, which
+    # F2 checks.)
+    goal = comparison.goal_s
+    for name, result in comparison.results.items():
+        if name != "Hibernator" and result.mean_response_s <= goal:
+            assert comparison.savings("Hibernator") > comparison.savings(name)

@@ -1,0 +1,47 @@
+"""F2 [reconstructed]: average response time of each scheme on OLTP,
+against the response-time goal.
+
+The companion of F1: energy savings only count if the goal survives.
+Hibernator stays within the goal; DRPM (goal-blind) blows through it.
+"""
+
+from __future__ import annotations
+
+from common import emit, oltp_comparison
+from conftest import run_once
+
+from repro.analysis.report import format_table
+
+
+def build():
+    comparison = oltp_comparison()
+    rows = [
+        [
+            name,
+            f"{result.mean_response_s * 1e3:.2f}",
+            f"{result.p95_response_s * 1e3:.2f}",
+            f"{result.p99_response_s * 1e3:.2f}",
+            f"{result.mean_response_s / comparison.goal_s:.2f}",
+            "yes" if result.mean_response_s <= comparison.goal_s else "NO",
+        ]
+        for name, result in comparison.results.items()
+    ]
+    table = format_table(
+        ["scheme", "mean ms", "p95 ms", "p99 ms", "RT/goal", "meets goal"],
+        rows,
+        title=f"OLTP: response time vs goal ({comparison.goal_s * 1e3:.2f} ms)",
+    )
+    return comparison, table
+
+
+def test_f2_oltp_response(benchmark):
+    comparison, table = run_once(benchmark, build)
+    emit("F2", table)
+    goal = comparison.goal_s
+    # S2: Hibernator meets the goal.
+    assert comparison.results["Hibernator"].mean_response_s <= goal
+    # S2: DRPM does not (no goal awareness).
+    assert comparison.results["DRPM"].mean_response_s > goal
+    # Base and TPM are (trivially) within the goal on steady OLTP.
+    assert comparison.results["Base"].mean_response_s <= goal
+    assert comparison.results["TPM"].mean_response_s <= goal

@@ -1,0 +1,26 @@
+"""F3 [reconstructed]: energy consumption on the Cello99-style file
+server.
+
+The file-server day has deep overnight valleys, so — unlike OLTP —
+threshold spin-down (TPM) finally finds gaps to exploit, and every
+scheme saves something. Hibernator still leads among goal-respecting
+schemes by running the valley hours on slow tiers instead of gambling on
+spin-ups.
+"""
+
+from __future__ import annotations
+
+from common import cello_comparison, comparison_table, emit
+from conftest import run_once
+
+
+def test_f3_cello_energy(benchmark):
+    comparison = run_once(benchmark, cello_comparison)
+    emit("F3", comparison_table(comparison, "Cello (file server): energy by scheme"))
+    # The diurnal valley makes real savings possible for Hibernator.
+    assert comparison.savings("Hibernator") > 0.3
+    # Hibernator leads all goal-meeting schemes.
+    goal = comparison.goal_s
+    for name, result in comparison.results.items():
+        if name != "Hibernator" and result.mean_response_s <= goal:
+            assert comparison.savings("Hibernator") > comparison.savings(name)

@@ -1,0 +1,48 @@
+"""F4 [reconstructed]: response time on the Cello99-style file server,
+against the goal.
+
+TPM's savings on this workload come at the price of spin-up stalls
+(multi-second worst-case latencies); Hibernator's come with the goal
+intact.
+"""
+
+from __future__ import annotations
+
+from common import cello_comparison, emit
+from conftest import run_once
+
+from repro.analysis.report import format_table
+
+
+def build():
+    comparison = cello_comparison()
+    rows = [
+        [
+            name,
+            f"{result.mean_response_s * 1e3:.2f}",
+            f"{result.p99_response_s * 1e3:.2f}",
+            f"{result.max_response_s * 1e3:.0f}",
+            f"{result.spinups}",
+            "yes" if result.mean_response_s <= comparison.goal_s else "NO",
+        ]
+        for name, result in comparison.results.items()
+    ]
+    return comparison, format_table(
+        ["scheme", "mean ms", "p99 ms", "max ms", "spin-ups", "meets goal"],
+        rows,
+        title=f"Cello: response time vs goal ({comparison.goal_s * 1e3:.2f} ms)",
+    )
+
+
+def test_f4_cello_response(benchmark):
+    comparison, table = run_once(benchmark, build)
+    emit("F4", table)
+    goal = comparison.goal_s
+    hib = comparison.results["Hibernator"]
+    tpm = comparison.results["TPM"]
+    assert hib.mean_response_s <= goal
+    # If TPM slept at all, it paid multi-second spin-up stalls, far
+    # worse than anything Hibernator's slow tiers inflict.
+    if tpm.spinups > 0:
+        assert tpm.max_response_s >= 2.0
+        assert hib.max_response_s < tpm.max_response_s

@@ -1,0 +1,93 @@
+"""F9 [reconstructed]: time-series adaptation — the performance boost in
+action.
+
+The paper's behaviour-over-time figure: a working-set shift strands the
+hot data on a slow tier mid-epoch; response time climbs past the goal;
+the boost spins the array to full speed; at the next epoch boundary CR
+re-tiers for the new hot set and savings resume. We print the windowed
+response time and mean RPM series and check each phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import bench_array_config, emit
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.core.guarantee import GuaranteeConfig
+from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
+from repro.sim.runner import ArraySimulation
+from repro.traces.model import trace_from_columns
+from repro.traces.synthetic import interleave_traces
+
+GOAL_S = 9.0e-3
+EPOCH_S = 400.0
+
+
+def drift_trace(num_extents: int):
+    """300 s with one hot set, then 900 s with another."""
+
+    def phase(start, dur, hot_lo, seed):
+        rng = np.random.default_rng(seed)
+        n_hot, n_cold = int(120.0 * dur), int(12.0 * dur)
+        t = np.sort(rng.uniform(start, start + dur, n_hot + n_cold))
+        ext = np.concatenate([
+            rng.integers(hot_lo, hot_lo + num_extents // 8, n_hot),
+            rng.integers(0, num_extents, n_cold),
+        ])
+        rng.shuffle(ext)
+        return trace_from_columns("ph", num_extents, t, np.ones(len(t), bool),
+                                  ext[: len(t)], np.full(len(t), 4096))
+
+    return interleave_traces("drift", [
+        phase(0.0, 300.0, 0, 81),
+        phase(300.0, 900.0, num_extents * 3 // 4, 82),
+    ])
+
+
+def run_experiment():
+    config = bench_array_config()
+    trace = drift_trace(config.num_extents)
+    prime = np.full(config.num_extents, 12.0 / config.num_extents)
+    prime[: config.num_extents // 8] += 120.0 / (config.num_extents // 8)
+    policy = HibernatorPolicy(HibernatorConfig(
+        epoch_seconds=EPOCH_S,
+        prime_rates=prime,
+        guarantee=GuaranteeConfig(enter_threshold_requests=25.0),
+    ))
+    sim = ArraySimulation(trace, config, policy, goal_s=GOAL_S, window_s=60.0)
+    result = sim.run()
+    return policy, result
+
+
+def test_f9_boost_timeseries(benchmark):
+    policy, result = run_once(benchmark, run_experiment)
+    speeds = {round(t): rpm for t, rpm, _ in result.speed_samples}
+    rows = [
+        [f"{t:.0f}", f"{rt * 1e3:.2f}", f"{n}",
+         f"{speeds.get(round(t), float('nan')):.0f}"]
+        for t, rt, n in result.latency_windows
+    ]
+    emit("F9", format_table(
+        ["t (s)", "window mean RT ms", "requests", "mean rpm"],
+        rows,
+        title=f"drift workload: response time and speed over time (goal {GOAL_S * 1e3:.0f} ms)",
+    ))
+    # Phase 1 (pre-drift): tiered, below goal, not at full speed.
+    pre = [rt for t, rt, n in result.latency_windows if t < 240 and n]
+    assert max(pre) <= GOAL_S
+    assert result.speed_samples[2][1] < 15000.0
+    # The drift triggers at least one boost.
+    assert policy.boost is not None and policy.boost.boosts_entered >= 1
+    # During the boost the array runs at (near) full speed.
+    boosted_rpms = [rpm for t, rpm, _ in result.speed_samples if 400 <= t <= 500]
+    assert max(boosted_rpms) > 14000.0
+    # The guarantee: cumulative average ends within the goal plus the
+    # bounded entry overshoot.
+    bound = GOAL_S * 1.1 + 25.0 * GOAL_S / result.num_requests
+    assert result.mean_response_s <= bound
+    # After re-tiering, the tail windows are back under the goal.
+    tail = [rt for t, rt, n in result.latency_windows if t >= 900 and n]
+    assert np.mean(tail) <= GOAL_S

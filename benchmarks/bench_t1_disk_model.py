@@ -1,0 +1,61 @@
+"""T1 [reconstructed]: the multi-speed disk model parameter table.
+
+Regenerates the paper's disk-characteristics table: per speed level,
+idle/active power, rotation time and transfer rate, plus the transition
+costs — the numbers every other experiment's energy arithmetic rests on.
+"""
+
+from __future__ import annotations
+
+from common import emit
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.disks.mechanics import DiskMechanics
+from repro.disks.specs import ultrastar_36z15
+
+
+def build_table() -> str:
+    spec = ultrastar_36z15()
+    mech = DiskMechanics(spec)
+    rows = []
+    for rpm in spec.rpm_levels:
+        moments = mech.service_moments(rpm, 4096.0)
+        rows.append([
+            f"{rpm}",
+            f"{spec.idle_watts(rpm):.2f}",
+            f"{spec.active_watts(rpm):.2f}",
+            f"{spec.rotation_s(rpm) * 1e3:.2f}",
+            f"{spec.transfer_bps(rpm) / 1e6:.1f}",
+            f"{moments.mean * 1e3:.2f}",
+        ])
+    table = format_table(
+        ["RPM", "idle W", "active W", "rotation ms", "MB/s", "E[S] ms (4 KiB)"],
+        rows,
+        title=f"{spec.name}: speed levels",
+    )
+    up_s, up_j = spec.transition_cost(0, spec.max_rpm)
+    down_s, down_j = spec.transition_cost(spec.max_rpm, 0)
+    step_s, step_j = spec.transition_cost(spec.rpm_levels[0], spec.rpm_levels[1])
+    extra = format_table(
+        ["transition", "seconds", "joules"],
+        [
+            ["spin-up (0 -> max)", f"{up_s:.1f}", f"{up_j:.0f}"],
+            ["spin-down (max -> 0)", f"{down_s:.1f}", f"{down_j:.0f}"],
+            ["adjacent speed step", f"{step_s:.2f}", f"{step_j:.1f}"],
+        ],
+        title="transition costs",
+    )
+    return table + "\n\n" + extra
+
+
+def test_t1_disk_model(benchmark):
+    text = run_once(benchmark, build_table)
+    emit("T1", text)
+    spec = ultrastar_36z15()
+    # Data-sheet anchors.
+    assert abs(spec.idle_watts(spec.max_rpm) - 10.2) < 0.01
+    assert abs(spec.active_watts(spec.max_rpm) - 13.5) < 0.01
+    # The energy opportunity: slowest level's idle power is a small
+    # fraction of full speed's.
+    assert spec.idle_watts(spec.min_rpm) < 0.3 * spec.idle_watts(spec.max_rpm)

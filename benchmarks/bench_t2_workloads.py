@@ -1,0 +1,40 @@
+"""T2 [reconstructed]: the workload-characteristics table.
+
+Regenerates the paper's trace table for the two stand-in workloads: rate,
+read/write mix, request sizes, footprint, skew and burstiness — the
+properties the substitution note (DESIGN.md) promises each generator
+reproduces.
+"""
+
+from __future__ import annotations
+
+from common import bench_cello_trace, bench_oltp_trace, emit
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.traces.tracestats import compute_trace_stats
+
+
+def build_table():
+    oltp = compute_trace_stats(bench_oltp_trace(), window_s=300.0)
+    cello = compute_trace_stats(bench_cello_trace(), window_s=3600.0)
+    labels = [label for label, _ in oltp.rows()]
+    rows = [
+        [label, dict(oltp.rows())[label], dict(cello.rows())[label]]
+        for label in labels
+    ]
+    return oltp, cello, format_table(["characteristic", "OLTP", "Cello"], rows,
+                                     title="workload characteristics (bench scale)")
+
+
+def test_t2_workloads(benchmark):
+    oltp, cello, table = run_once(benchmark, build_table)
+    emit("T2", table)
+    # OLTP: steady, skewed, small, read-mostly.
+    assert oltp.peak_to_mean_rate < 1.3
+    assert oltp.top10pct_access_share > 0.35
+    assert oltp.mean_size_bytes < 10_000
+    assert 0.6 < oltp.read_fraction < 0.72
+    # Cello: diurnal (peaky), mixed sizes.
+    assert cello.peak_to_mean_rate > 1.5
+    assert cello.mean_size_bytes > oltp.mean_size_bytes

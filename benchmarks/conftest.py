@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+``pytest benchmarks/ --benchmark-only`` runs every experiment once
+(pedantic single-round timing) — the experiments are full simulations,
+so multi-round statistical timing would multiply minutes of runtime for
+no insight.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `import common` regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Design-space sweep: slack x speed levels.
+
+For a storage architect deciding (a) how tight a response-time contract
+to sell and (b) how many RPM levels the disks need: sweeps both axes on
+an OLTP-like workload and prints the savings matrix.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro import (
+    AlwaysOnPolicy,
+    HibernatorConfig,
+    HibernatorPolicy,
+    OltpConfig,
+    default_array_config,
+    generate_oltp,
+    run_single,
+)
+from repro.analysis.report import format_table
+from repro.traces.tracestats import per_extent_rates
+
+SLACKS = [1.5, 2.0, 3.0]
+LEVELS = [1, 2, 3, 5]
+
+
+def main() -> None:
+    trace = generate_oltp(OltpConfig(duration=600.0, rate=160.0,
+                                     num_extents=800, seed=6))
+    prime = per_extent_rates(trace)
+
+    rows = []
+    for levels in LEVELS:
+        config = default_array_config(num_disks=8, num_extents=800,
+                                      num_speed_levels=levels)
+        base = run_single(trace, config, AlwaysOnPolicy())
+        row = [f"{levels}"]
+        for slack in SLACKS:
+            goal = slack * base.mean_response_s
+            policy = HibernatorPolicy(HibernatorConfig(
+                epoch_seconds=300.0, prime_rates=prime,
+            ))
+            result = run_single(trace, config, policy, goal_s=goal)
+            savings = 100.0 * result.energy_savings_vs(base)
+            met = result.mean_response_s <= goal
+            row.append(f"{savings:5.1f} %{'' if met else ' (!)'}")
+        rows.append(row)
+
+    print(format_table(
+        ["speed levels"] + [f"slack {s}x" for s in SLACKS], rows,
+        title="Hibernator energy savings: speed levels x response-time slack",
+    ))
+    print("\n(!) marks configurations that missed the goal")
+    print("Reading the matrix: 1 level = conventional disks (nothing to")
+    print("exploit); 2 levels capture most of the benefit; tighter goals")
+    print("shrink savings at every level count.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Failure drill: a disk dies mid-run on a RAID-5 volume.
+
+Timeline: OLTP traffic flows; at t=200 s disk 0 fails; reads of its data
+reconstruct from the survivors (watch the latency step up); at t=260 s
+the rebuild starts trickling the lost extents onto the survivors'
+spare capacity; once it finishes, latency returns to normal and the
+dead spindle stays dark.
+
+Run:  python examples/failure_drill.py
+"""
+
+import dataclasses
+
+from repro import AlwaysOnPolicy, OltpConfig, default_array_config, generate_oltp
+from repro.analysis.ascii_plot import sparkline
+from repro.analysis.report import format_table
+from repro.disks.rebuild import RebuildManager
+from repro.sim.runner import ArraySimulation
+
+FAIL_AT_S = 200.0
+REBUILD_AT_S = 260.0
+
+
+def main() -> None:
+    trace = generate_oltp(OltpConfig(duration=900.0, rate=150.0,
+                                     num_extents=800, seed=8))
+    config = dataclasses.replace(
+        default_array_config(num_disks=8, num_extents=800),
+        raid5=True,
+    )
+    sim = ArraySimulation(trace, config, AlwaysOnPolicy(), window_s=30.0)
+    manager = RebuildManager(sim.array, max_inflight=2)
+
+    sim.engine.schedule(FAIL_AT_S, sim.array.fail_disk, 0)
+    sim.engine.schedule(REBUILD_AT_S, manager.start, 0)
+    result = sim.run()
+
+    rows = []
+    for t, rt, n in result.latency_windows:
+        phase = "healthy"
+        if t >= FAIL_AT_S:
+            phase = "DEGRADED"
+        if manager.finished_at is not None and t >= manager.finished_at:
+            phase = "rebuilt"
+        rows.append([f"{t:.0f}", f"{rt * 1e3:.2f}" if n else "-", phase])
+    print(format_table(["t (s)", "window RT ms", "phase"], rows,
+                       title="response time through the failure"))
+    print()
+    print("RT sparkline:",
+          sparkline([rt for _, rt, n in result.latency_windows if n]))
+    print()
+    print(f"requests lost: {result.failed_requests} (RAID-5 survived the failure)")
+    print(f"degraded reads served by reconstruction: {sim.array.degraded_reads}")
+    print(f"extents rebuilt: {manager.rebuilt} "
+          f"in {manager.duration_s:.1f} s" if manager.duration_s else "rebuild incomplete")
+    occupancy = [int(x) for x in sim.array.extent_map.occupancy()]
+    print(f"post-rebuild occupancy: {occupancy} (disk 0 is dark)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""OLTP energy study: the paper's headline comparison, scaled down.
+
+Runs all six schemes (Base, TPM, DRPM, PDC, MAID, Hibernator) on the
+same OLTP-like trace and array, prints the energy/response-time table
+and a per-scheme energy breakdown (idle vs active vs transitions vs
+standby).
+
+Run:  python examples/oltp_energy_study.py
+"""
+
+from repro import (
+    ComparisonResult,
+    HibernatorConfig,
+    OltpConfig,
+    default_array_config,
+    generate_oltp,
+    run_comparison,
+)
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    trace = generate_oltp(OltpConfig(duration=900.0, rate=200.0,
+                                     num_extents=800, seed=2))
+    config = default_array_config(num_disks=8, num_extents=800)
+    comparison = run_comparison(
+        trace, config, slack=2.0,
+        hibernator_config=HibernatorConfig(epoch_seconds=300.0),
+    )
+
+    print(format_table(ComparisonResult.HEADERS, comparison.rows(),
+                       title="OLTP: scheme comparison"))
+    print()
+
+    # Where did the joules go?
+    categories = ["idle", "active", "standby", "transition"]
+    rows = []
+    for name, result in comparison.results.items():
+        breakdown = result.breakdown
+        rows.append([name] + [
+            f"{breakdown.joules.get(cat, 0.0) / 1e3:.1f}" for cat in categories
+        ])
+    print(format_table(["scheme"] + [f"{c} kJ" for c in categories], rows,
+                       title="energy breakdown by category"))
+    print()
+
+    hib = comparison.results["Hibernator"]
+    print(f"Hibernator detail: {hib.policy_params}")
+    print(f"  migration: {hib.migration_extents} extents "
+          f"({hib.migration_bytes >> 20} MiB) moved")
+    for key, value in hib.extras.items():
+        print(f"  {key}: {value:g}")
+
+
+if __name__ == "__main__":
+    main()

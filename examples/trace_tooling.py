@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Trace tooling tour: generate, characterize, transform, save, reload.
+
+Builds a composite workload — an OLTP morning, a quiet gap, then a
+bursty afternoon — out of generator output and the transform toolkit,
+characterizes each phase, and round-trips the result through the trace
+file format.
+
+Run:  python examples/trace_tooling.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import OltpConfig, SyntheticConfig, generate_oltp, generate_synthetic
+from repro.analysis.ascii_plot import sparkline
+from repro.analysis.report import format_kv
+from repro.traces.io import load_trace, save_trace
+from repro.traces.tracestats import compute_trace_stats
+from repro.traces.transforms import concat, sample_fraction
+
+
+def main() -> None:
+    morning = generate_oltp(OltpConfig(duration=600.0, rate=150.0,
+                                       num_extents=800, seed=10))
+    afternoon = generate_synthetic(SyntheticConfig(
+        name="afternoon", duration=600.0, rate=260.0, num_extents=800,
+        zipf_theta=1.2, read_fraction=0.5, seed=11,
+    ))
+    # Thin the afternoon to 70% (Poisson thinning keeps the structure).
+    afternoon = sample_fraction(afternoon, 0.7, seed=12)
+    day = concat([morning, afternoon], gap_s=300.0, name="composite-day")
+
+    for phase in (morning, afternoon, day):
+        stats = compute_trace_stats(phase, window_s=120.0)
+        print(format_kv(f"== {phase.name} ==", stats.rows()))
+        print()
+
+    # Arrival-rate sparkline over 30 windows.
+    import numpy as np
+
+    counts, _ = np.histogram(day.times, bins=30, range=(0.0, day.duration))
+    print("arrival rate:", sparkline(counts.tolist()))
+    print()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "day.csv.gz"
+        save_trace(day, path)
+        size_kib = path.stat().st_size / 1024
+        reloaded = load_trace(path)
+        print(f"saved {len(day)} requests to {path.name} ({size_kib:.0f} KiB gz), "
+              f"reloaded {len(reloaded)} — "
+              f"{'identical' if len(reloaded) == len(day) else 'MISMATCH'}")
+
+
+if __name__ == "__main__":
+    main()

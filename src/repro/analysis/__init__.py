@@ -1,0 +1,37 @@
+"""Experiment harness and reporting.
+
+* :mod:`repro.analysis.experiments` -- run policy comparisons the way
+  the paper does: Base first (defines the goal), then every scheme on
+  the identical trace and array.
+* :mod:`repro.analysis.energy` -- unit helpers and savings arithmetic.
+* :mod:`repro.analysis.report` -- plain-text tables/series formatting
+  shared by the benchmarks and examples.
+* :mod:`repro.analysis.sweeps` -- one-dimensional parameter sweeps.
+"""
+
+from repro.analysis.energy import joules_to_kwh, savings_fraction
+from repro.analysis.experiments import (
+    ComparisonResult,
+    default_array_config,
+    derive_goal,
+    run_comparison,
+    run_single,
+    standard_policies,
+)
+from repro.analysis.report import format_series, format_table
+from repro.analysis.sweeps import SweepPoint, sweep
+
+__all__ = [
+    "joules_to_kwh",
+    "savings_fraction",
+    "ComparisonResult",
+    "default_array_config",
+    "derive_goal",
+    "run_comparison",
+    "run_single",
+    "standard_policies",
+    "format_table",
+    "format_series",
+    "SweepPoint",
+    "sweep",
+]

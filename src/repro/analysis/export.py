@@ -1,0 +1,96 @@
+"""Result export: simulation results to JSON/CSV for external plotting.
+
+The text tables in :mod:`repro.analysis.report` are for eyes; these
+serializers are for pipelines — everything a
+:class:`repro.sim.runner.SimulationResult` carries, in plain data types.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO, Any
+
+from repro.analysis.experiments import ComparisonResult
+from repro.sim.runner import SimulationResult
+
+
+def result_to_dict(result: SimulationResult, include_series: bool = False) -> dict[str, Any]:
+    """Flatten one run into JSON-safe types.
+
+    Args:
+        include_series: also include the time series (latency windows,
+            speed and power samples); omitted by default because they
+            dominate the payload.
+    """
+    out: dict[str, Any] = {
+        "trace": result.trace_name,
+        "policy": result.policy_name,
+        "policy_params": result.policy_params,
+        "num_requests": result.num_requests,
+        "failed_requests": result.failed_requests,
+        "sim_end_s": result.sim_end,
+        "energy_joules": result.energy_joules,
+        "mean_power_watts": result.mean_power_watts,
+        "energy_breakdown_joules": dict(result.breakdown.joules),
+        "mean_response_s": result.mean_response_s,
+        "p95_response_s": result.p95_response_s,
+        "p99_response_s": result.p99_response_s,
+        "max_response_s": result.max_response_s,
+        "goal_s": result.goal_s,
+        "meets_goal": result.meets_goal,
+        "migration_extents": result.migration_extents,
+        "migration_bytes": result.migration_bytes,
+        "spinups": result.spinups,
+        "speed_changes": result.speed_changes,
+        "extras": dict(result.extras),
+    }
+    if include_series:
+        out["latency_windows"] = [list(w) for w in result.latency_windows]
+        out["speed_samples"] = [list(s) for s in result.speed_samples]
+        out["power_samples"] = [list(p) for p in result.power_samples]
+    return out
+
+
+def comparison_to_dict(comparison: ComparisonResult, include_series: bool = False) -> dict[str, Any]:
+    """Flatten a whole comparison (per-scheme results plus savings)."""
+    return {
+        "goal_s": comparison.goal_s,
+        "slack": comparison.slack,
+        "schemes": {
+            name: {
+                **result_to_dict(result, include_series=include_series),
+                "energy_savings_vs_base": comparison.savings(name),
+            }
+            for name, result in comparison.results.items()
+        },
+    }
+
+
+def write_json(data: dict[str, Any], path: str | Path | IO[str]) -> None:
+    """Write a dict (from the functions above) as indented JSON."""
+    if hasattr(path, "write"):
+        json.dump(data, path, indent=2, sort_keys=True)  # type: ignore[arg-type]
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+
+
+_CSV_FIELDS = [
+    "trace", "policy", "num_requests", "energy_joules", "mean_power_watts",
+    "mean_response_s", "p95_response_s", "p99_response_s", "max_response_s",
+    "goal_s", "meets_goal", "migration_extents", "spinups", "speed_changes",
+    "energy_savings_vs_base",
+]
+
+
+def write_comparison_csv(comparison: ComparisonResult, path: str | Path) -> None:
+    """One CSV row per scheme: the columns every plot script wants."""
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for name, result in comparison.results.items():
+            row = result_to_dict(result)
+            row["energy_savings_vs_base"] = comparison.savings(name)
+            writer.writerow({k: row[k] for k in _CSV_FIELDS})

@@ -1,0 +1,48 @@
+"""Plain-text tables and series for benchmark/example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]], title: str | None = None) -> str:
+    """Fixed-width text table (monospace-aligned)."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}: {row!r}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Iterable[tuple[float, float]],
+    x_label: str = "x",
+    y_label: str = "y",
+    x_format: str = "{:.3g}",
+    y_format: str = "{:.4g}",
+) -> str:
+    """A figure rendered as a two-column series."""
+    rows = [[x_format.format(x), y_format.format(y)] for x, y in points]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def format_kv(title: str, pairs: Iterable[tuple[str, str]]) -> str:
+    """Aligned key/value block (used for parameter tables)."""
+    pairs = list(pairs)
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"  {key.ljust(width)}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""One-dimensional parameter sweeps over simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class SweepPoint:
+    """One point of a sweep: the parameter value and arbitrary metrics."""
+
+    value: float
+    metrics: dict[str, float]
+
+
+def sweep(
+    values: Sequence[T],
+    run: Callable[[T], dict[str, float]],
+    value_of: Callable[[T], float] = float,  # type: ignore[assignment]
+) -> list[SweepPoint]:
+    """Run ``run(v)`` for each value, collecting metric dictionaries.
+
+    Args:
+        values: parameter values, in presentation order.
+        run: executes one configuration, returns named metrics.
+        value_of: numeric projection of the value for the x-axis.
+    """
+    points: list[SweepPoint] = []
+    for v in values:
+        metrics = run(v)
+        points.append(SweepPoint(value=value_of(v), metrics=metrics))
+    return points
+
+
+def series(points: Sequence[SweepPoint], metric: str) -> list[tuple[float, float]]:
+    """Extract one (x, metric) series from sweep points."""
+    return [(p.value, p.metrics[metric]) for p in points]

@@ -1,0 +1,306 @@
+"""Command-line interface.
+
+Drive the library without writing Python::
+
+    python -m repro gen-trace --kind oltp --duration 600 -o oltp.csv
+    python -m repro trace-stats oltp.csv
+    python -m repro run --policy hibernator --trace oltp.csv --slack 2.0
+    python -m repro compare --trace oltp.csv --slack 2.0
+    python -m repro sweep-slack --trace oltp.csv --slacks 1.5,2,3
+
+Traces can come from a file (``--trace``) or be generated inline with
+the same knobs as ``gen-trace``. All commands print plain-text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.experiments import (
+    ComparisonResult,
+    default_array_config,
+    run_comparison,
+    run_single,
+    standard_policies,
+)
+from repro.analysis.report import format_kv, format_series, format_table
+from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.policies.base import PowerPolicy
+from repro.policies.drpm import DrpmPolicy
+from repro.policies.maid import MaidConfig, MaidPolicy, maid_array_config
+from repro.policies.oracle import OraclePolicy
+from repro.policies.pdc import PdcConfig, PdcPolicy
+from repro.policies.tpm import TpmConfig, TpmPolicy
+from repro.sim.runner import SimulationResult
+from repro.traces.cello import CelloConfig, generate_cello
+from repro.traces.io import load_trace, save_trace
+from repro.traces.model import Trace
+from repro.traces.oltp import OltpConfig, generate_oltp
+from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+from repro.traces.tracestats import compute_trace_stats, per_extent_rates
+
+POLICY_NAMES = ("base", "tpm", "drpm", "pdc", "maid", "hibernator", "oracle")
+
+
+def _add_trace_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", help="trace file (from gen-trace); omit to generate inline")
+    parser.add_argument("--kind", choices=("oltp", "cello", "synthetic"), default="oltp",
+                        help="inline generator kind (default: oltp)")
+    parser.add_argument("--duration", type=float, default=900.0,
+                        help="inline trace duration in seconds")
+    parser.add_argument("--rate", type=float, default=200.0,
+                        help="inline mean request rate (req/s)")
+    parser.add_argument("--extents", type=int, default=800,
+                        help="logical extents in the volume")
+    parser.add_argument("--seed", type=int, default=1, help="generator seed")
+
+
+def _add_array_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--disks", type=int, default=8, help="array width")
+    parser.add_argument("--speed-levels", type=int, default=5,
+                        help="RPM levels of the multi-speed disks")
+    parser.add_argument("--raid5", action="store_true", help="RAID-5 write expansion")
+    parser.add_argument("--scheduler", choices=("fcfs", "sstf", "scan"), default="fcfs",
+                        help="per-disk queue discipline")
+
+
+def _resolve_trace(args: argparse.Namespace) -> Trace:
+    if args.trace:
+        return load_trace(args.trace)
+    return _generate(args)
+
+
+def _generate(args: argparse.Namespace) -> Trace:
+    if args.kind == "oltp":
+        return generate_oltp(OltpConfig(
+            duration=args.duration, rate=args.rate,
+            num_extents=args.extents, seed=args.seed,
+        ))
+    if args.kind == "cello":
+        return generate_cello(CelloConfig(
+            days=max(args.duration / 86400.0, 1e-6),
+            day_rate=args.rate, night_rate=args.rate / 20.0,
+            num_extents=args.extents, seed=args.seed,
+        ))
+    return generate_synthetic(SyntheticConfig(
+        duration=args.duration, rate=args.rate,
+        num_extents=args.extents, seed=args.seed,
+    ))
+
+
+def _array_config(args: argparse.Namespace, num_extents: int):
+    config = default_array_config(
+        num_disks=args.disks,
+        num_extents=num_extents,
+        num_speed_levels=args.speed_levels,
+        raid5=args.raid5,
+    )
+    if args.scheduler != "fcfs":
+        import dataclasses
+
+        config = dataclasses.replace(config, scheduler=args.scheduler)
+    return config
+
+
+def _build_policy(name: str, args: argparse.Namespace, trace: Trace,
+                  array_config) -> tuple[PowerPolicy, object]:
+    """Policy instance plus the (possibly adjusted) array config."""
+    if name == "base":
+        return AlwaysOnPolicy(), array_config
+    if name == "tpm":
+        return TpmPolicy(TpmConfig()), array_config
+    if name == "drpm":
+        return DrpmPolicy(), array_config
+    if name == "pdc":
+        return PdcPolicy(PdcConfig(period_s=args.epoch)), array_config
+    if name == "maid":
+        maid_cfg = MaidConfig()
+        return MaidPolicy(maid_cfg), maid_array_config(array_config, maid_cfg.num_cache_disks)
+    if name == "oracle":
+        return OraclePolicy(epoch_seconds=args.epoch), array_config
+    hib = HibernatorConfig(
+        epoch_seconds=args.epoch,
+        migration=args.migration,
+        prime_rates=per_extent_rates(trace) if args.prime else None,
+    )
+    return HibernatorPolicy(hib), array_config
+
+
+def _result_block(result: SimulationResult, base: SimulationResult | None,
+                  goal: float | None) -> str:
+    pairs = [
+        ("policy", result.policy_params),
+        ("requests", f"{result.num_requests}"),
+        ("simulated", f"{result.sim_end:.1f} s"),
+        ("energy", f"{result.energy_joules / 1e3:.1f} kJ"),
+        ("mean power", f"{result.mean_power_watts:.1f} W"),
+        ("mean response", f"{result.mean_response_s * 1e3:.2f} ms"),
+        ("p95 response", f"{result.p95_response_s * 1e3:.2f} ms"),
+        ("max response", f"{result.max_response_s * 1e3:.1f} ms"),
+    ]
+    if base is not None:
+        pairs.append(("energy savings", f"{100 * result.energy_savings_vs(base):.1f} % vs Base"))
+    if goal is not None:
+        pairs.append(("goal", f"{goal * 1e3:.2f} ms "
+                              f"({'met' if result.mean_response_s <= goal else 'VIOLATED'})"))
+    if result.migration_extents:
+        pairs.append(("migration", f"{result.migration_extents} extents"))
+    for key, value in sorted(result.extras.items()):
+        pairs.append((key, f"{value:g}"))
+    return format_kv(f"== {result.policy_name} on {result.trace_name} ==", pairs)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_gen_trace(args: argparse.Namespace) -> int:
+    trace = _generate(args)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} requests ({trace.duration:.1f} s) to {args.output}")
+    return 0
+
+
+def cmd_trace_stats(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace_file)
+    stats = compute_trace_stats(trace)
+    print(format_kv(f"== {trace.name} ==", stats.rows()))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    trace = _resolve_trace(args)
+    config = _array_config(args, trace.num_extents)
+    base = None
+    goal = None
+    if args.policy != "base" and args.slack is not None:
+        base = run_single(trace, config, AlwaysOnPolicy())
+        goal = args.slack * base.mean_response_s
+    policy, policy_config = _build_policy(args.policy, args, trace, config)
+    result = run_single(trace, policy_config, policy, goal_s=goal)
+    if args.json:
+        from repro.analysis.export import result_to_dict, write_json
+
+        write_json(result_to_dict(result), sys.stdout)
+        print()
+    else:
+        print(_result_block(result, base, goal))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace = _resolve_trace(args)
+    config = _array_config(args, trace.num_extents)
+    comparison = run_comparison(
+        trace, config, slack=args.slack,
+        hibernator_config=HibernatorConfig(epoch_seconds=args.epoch,
+                                           migration=args.migration),
+    )
+    if args.json:
+        from repro.analysis.export import comparison_to_dict, write_json
+
+        write_json(comparison_to_dict(comparison), sys.stdout)
+        print()
+    elif args.csv:
+        from repro.analysis.export import write_comparison_csv
+
+        write_comparison_csv(comparison, args.csv)
+        print(f"wrote {args.csv}")
+    else:
+        print(format_table(ComparisonResult.HEADERS, comparison.rows(),
+                           title=f"{trace.name}: scheme comparison "
+                                 f"(goal {comparison.goal_s * 1e3:.2f} ms)"))
+    return 0
+
+
+def cmd_sweep_slack(args: argparse.Namespace) -> int:
+    trace = _resolve_trace(args)
+    config = _array_config(args, trace.num_extents)
+    base = run_single(trace, config, AlwaysOnPolicy())
+    slacks = [float(s) for s in args.slacks.split(",")]
+    points = []
+    for slack in slacks:
+        if slack < 1.0:
+            raise SystemExit(f"slack {slack} below 1.0 is unmeetable")
+        goal = slack * base.mean_response_s
+        policy = standard_policies(
+            trace, config, HibernatorConfig(epoch_seconds=args.epoch,
+                                            migration=args.migration),
+        )[-1][0]
+        result = run_single(trace, config, policy, goal_s=goal)
+        points.append((slack, 100.0 * result.energy_savings_vs(base)))
+    print(format_series(
+        f"{trace.name}: Hibernator savings vs slack",
+        points, x_label="slack", y_label="savings %",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hibernator (SOSP 2005) reproduction: disk-array "
+                    "energy management experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-trace", help="generate a workload trace file")
+    _add_trace_source(p)
+    p.add_argument("-o", "--output", required=True, help="output path (.csv or .csv.gz)")
+    p.set_defaults(func=cmd_gen_trace)
+
+    p = sub.add_parser("trace-stats", help="characterize a trace file")
+    p.add_argument("trace_file")
+    p.set_defaults(func=cmd_trace_stats)
+
+    p = sub.add_parser("run", help="run one policy on a trace")
+    _add_trace_source(p)
+    _add_array_options(p)
+    p.add_argument("--policy", choices=POLICY_NAMES, default="hibernator")
+    p.add_argument("--slack", type=float, default=2.0,
+                   help="response-time goal as a multiple of Base's mean "
+                        "(ignored for --policy base)")
+    p.add_argument("--epoch", type=float, default=600.0, help="epoch/period seconds")
+    p.add_argument("--migration", choices=("shuffle", "sorted", "none"),
+                   default="shuffle")
+    p.add_argument("--no-prime", dest="prime", action="store_false",
+                   help="skip heat priming (start with an observation epoch)")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.set_defaults(func=cmd_run, prime=True)
+
+    p = sub.add_parser("compare", help="run the full scheme comparison")
+    _add_trace_source(p)
+    _add_array_options(p)
+    p.add_argument("--slack", type=float, default=2.0)
+    p.add_argument("--epoch", type=float, default=600.0)
+    p.add_argument("--migration", choices=("shuffle", "sorted", "none"),
+                   default="shuffle")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.add_argument("--csv", help="write per-scheme CSV to this path")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep-slack", help="Hibernator savings across goals")
+    _add_trace_source(p)
+    _add_array_options(p)
+    p.add_argument("--slacks", default="1.25,1.5,2.0,3.0",
+                   help="comma-separated slack multipliers")
+    p.add_argument("--epoch", type=float, default=600.0)
+    p.add_argument("--migration", choices=("shuffle", "sorted", "none"),
+                   default="shuffle")
+    p.set_defaults(func=cmd_sweep_slack)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Hibernator: the paper's contribution.
+
+The pieces, matching the abstract's enumeration:
+
+* :mod:`repro.core.temperature` -- per-extent access-heat tracking with
+  exponential smoothing across epochs (what "the right data" means).
+* :mod:`repro.core.response_model` -- M/G/1 response-time prediction per
+  disk speed from observed load (how performance is predicted).
+* :mod:`repro.core.speed_setting` -- the **CR** coarse-grained speed
+  optimizer: choose how many disks spin at each speed for the next epoch
+  to minimize energy subject to the predicted response-time goal.
+* :mod:`repro.core.layout` -- multi-tier data layout: hot extents on
+  fast tiers, spread evenly within a tier.
+* :mod:`repro.core.migration` -- migration planning: randomized
+  shuffling (move only what tier-boundary shifts require) vs. full
+  temperature-sorted re-layout.
+* :mod:`repro.core.guarantee` -- the response-time guarantee: deficit
+  tracking and the full-speed performance boost.
+* :mod:`repro.core.hibernator` -- the epoch controller gluing the above
+  into a :class:`repro.policies.base.PowerPolicy`.
+"""
+
+from repro.core.guarantee import BoostController, GuaranteeConfig
+from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
+from repro.core.layout import TierLayout
+from repro.core.migration import MigrationPlan, plan_shuffle_migration, plan_sorted_migration
+from repro.core.response_model import MG1ResponseModel, predict_tier_response
+from repro.core.speed_setting import SpeedAssignment, SpeedSettingConfig, solve_speed_assignment
+from repro.core.temperature import HeatTracker
+
+__all__ = [
+    "HeatTracker",
+    "MG1ResponseModel",
+    "predict_tier_response",
+    "SpeedAssignment",
+    "SpeedSettingConfig",
+    "solve_speed_assignment",
+    "TierLayout",
+    "MigrationPlan",
+    "plan_shuffle_migration",
+    "plan_sorted_migration",
+    "BoostController",
+    "GuaranteeConfig",
+    "HibernatorConfig",
+    "HibernatorPolicy",
+]

@@ -1,0 +1,125 @@
+"""The response-time guarantee: deficit tracking + full-speed boost.
+
+Hibernator promises that the *cumulative average* response time stays at
+or below the goal whenever the full-speed array could meet it. The
+mechanism is a running deficit
+
+    D = sum over completed requests of (latency - goal)
+
+which is exactly ``n * (cumulative_average - goal)``. Whenever D turns
+positive the guarantee is at risk: the controller **boosts** — spins
+every disk to full speed and cancels background migration — and holds
+the boost until enough negative slack (credit) has been rebuilt, with a
+hysteresis margin so the array does not oscillate at the boundary.
+
+Boosting is what lets the rest of the system be aggressive: the CR
+optimizer can pick slow, cheap configurations knowing that a prediction
+error is bounded by the boost's reaction, not by the epoch length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import DeficitTracker
+
+
+@dataclass
+class GuaranteeConfig:
+    """Boost controller knobs.
+
+    Attributes:
+        enter_threshold_requests: enter the boost once the deficit
+            exceeds ``goal * enter_threshold_requests``. A boost is not
+            free — transitioning spindles cannot serve, so reacting to
+            every sign-flip of the deficit would *cause* violations on
+            transient blips. The threshold bounds the overshoot a boost
+            is allowed to react to (the paper checks at intervals for
+            the same reason).
+        exit_credit_requests: extra credit required before leaving the
+            boost: exit is allowed once the deficit has been driven to
+            ``-goal * exit_credit_requests`` or below. The controller
+            only *checks* this at epoch boundaries (exiting mid-epoch
+            would return to a configuration chosen for stale heat — the
+            exact mistake that triggered the boost). Default 0: exit as
+            soon as the cumulative average is back at the goal.
+        enabled: set False for the A1 ablation (no guarantee).
+    """
+
+    enter_threshold_requests: float = 50.0
+    exit_credit_requests: float = 0.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.enter_threshold_requests < 0:
+            raise ValueError("enter_threshold_requests must be non-negative")
+        if self.exit_credit_requests < 0:
+            raise ValueError("exit_credit_requests must be non-negative")
+
+
+class BoostController:
+    """Tracks the deficit and decides when to enter/leave the boost."""
+
+    def __init__(self, goal_s: float, config: GuaranteeConfig | None = None) -> None:
+        self.config = config or GuaranteeConfig()
+        self.tracker = DeficitTracker(goal_s)
+        self.boosted = False
+        self.boosts_entered = 0
+        self.boost_seconds = 0.0
+        self._boost_started: float | None = None
+
+    @property
+    def goal_s(self) -> float:
+        return self.tracker.goal
+
+    @property
+    def deficit(self) -> float:
+        return self.tracker.deficit
+
+    def observe(self, latency_s: float) -> None:
+        """Fold one completed foreground request into the deficit."""
+        self.tracker.add(latency_s)
+
+    def should_enter_boost(self) -> bool:
+        """True when the deficit has built past the entry threshold."""
+        if not self.config.enabled or self.boosted:
+            return False
+        threshold = self.goal_s * self.config.enter_threshold_requests
+        return self.tracker.deficit > threshold
+
+    def should_exit_boost(self) -> bool:
+        """True when enough credit has accumulated to resume saving."""
+        if not self.boosted:
+            return False
+        credit_target = self.goal_s * self.config.exit_credit_requests
+        return self.tracker.deficit <= -credit_target
+
+    def enter_boost(self, now: float) -> None:
+        if self.boosted:
+            raise RuntimeError("already boosted")
+        self.boosted = True
+        self.boosts_entered += 1
+        self._boost_started = now
+
+    def exit_boost(self, now: float) -> None:
+        if not self.boosted:
+            raise RuntimeError("not boosted")
+        assert self._boost_started is not None
+        self.boost_seconds += now - self._boost_started
+        self._boost_started = None
+        self.boosted = False
+
+    def finish(self, now: float) -> None:
+        """Close accounting at end of run (boost may still be active)."""
+        if self.boosted and self._boost_started is not None:
+            self.boost_seconds += now - self._boost_started
+            self._boost_started = now
+
+    @property
+    def cumulative_average(self) -> float:
+        return self.tracker.cumulative_average
+
+    @property
+    def meets_goal(self) -> bool:
+        """Whether the cumulative average currently satisfies the goal."""
+        return not self.tracker.violated

@@ -1,0 +1,449 @@
+"""The Hibernator epoch controller.
+
+Glues the four techniques from the abstract into one
+:class:`repro.policies.base.PowerPolicy`:
+
+1. multi-speed disks (the substrate in :mod:`repro.disks`),
+2. coarse-grained speed setting — at every epoch boundary, fold the
+   observed per-extent heat and run the CR optimizer
+   (:mod:`repro.core.speed_setting`) to pick the next epoch's tier
+   configuration,
+3. data migration — plan moves with randomized shuffling (or the sorted
+   strawman, for F8) and trickle them through a bounded-concurrency
+   executor so migration never swamps foreground traffic,
+4. the performance guarantee — every completed request feeds the boost
+   controller; the moment the cumulative average response time would
+   exceed the goal, all disks go to full speed and migration yields.
+
+The first epoch is an *observation epoch*: with no heat history the
+array runs at full speed while the tracker learns the workload (the
+paper warms up the same way). Benchmarks that want steady state
+immediately can prime the tracker from an offline trace scan via
+``HibernatorConfig.prime_rates``.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.guarantee import BoostController, GuaranteeConfig
+from repro.core.layout import TierLayout, identity_layout
+from repro.core.migration import (
+    MigrationExecutor,
+    MigrationPlan,
+    plan_shuffle_migration,
+    plan_sorted_migration,
+)
+from repro.core.response_model import MG1ResponseModel
+from repro.core.speed_setting import (
+    SpeedAssignment,
+    SpeedSettingConfig,
+    solve_speed_assignment,
+    solve_utilization_assignment,
+)
+from repro.core.temperature import HeatTracker
+from repro.policies.base import PowerPolicy
+from repro.sim.request import Request
+from repro.sim.stats import OnlineStats
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.runner import ArraySimulation
+
+
+@dataclass
+class EpochRecord:
+    """What happened at one epoch boundary (for reports and tests)."""
+
+    time: float
+    configuration: str
+    predicted_response_s: float
+    predicted_energy_joules: float
+    feasible: bool
+    planned_moves: int
+    boosted_at_boundary: bool
+
+
+@dataclass
+class HibernatorConfig:
+    """Hibernator knobs.
+
+    Attributes:
+        epoch_seconds: length of the coarse-grained control period.
+        heat_smoothing: exponential weight of history in the heat fold.
+        migration: 'shuffle' (the paper's randomized shuffling),
+            'sorted' (full temperature-sort strawman) or 'none'.
+        max_inflight_migrations: concurrent extent copies allowed.
+        speed_setting: CR optimizer knobs.
+        guarantee: boost controller knobs (ignored when the run has no
+            goal).
+        prime_rates: optional per-extent request rates to seed the heat
+            tracker, skipping the observation epoch.
+        wave_fraction: fraction of the array whose spindles may be in
+            transition at once. Speed changes are *staggered* in waves —
+            a transitioning spindle serves nothing, so changing every
+            disk simultaneously would black out the whole array for
+            seconds and self-inflict exactly the latency spike the boost
+            exists to fix.
+        wave_poll_interval_s: how often a wave checks whether its disks
+            have reached their targets before releasing the next wave.
+        speed_setter: 'cr' (the paper's response-time-constrained
+            optimizer) or 'utilization' (the naive target-utilization
+            strawman; A3 ablation).
+        util_target: utilization ceiling for the 'utilization' setter.
+        adaptive_epochs: grow the epoch (up to ``max_epoch_multiple`` x
+            the base length) while consecutive boundaries leave the
+            configuration unchanged and no boost fired; reset to the
+            base length otherwise. Extension beyond the paper: buys long-
+            epoch efficiency on stable workloads without giving up
+            responsiveness after a change.
+        max_epoch_multiple: cap for the adaptive epoch growth.
+        seed: randomness for shuffle tie-breaking.
+    """
+
+    epoch_seconds: float = 3600.0
+    heat_smoothing: float = 0.5
+    migration: str = "shuffle"
+    max_inflight_migrations: int = 4
+    speed_setting: SpeedSettingConfig = field(default_factory=SpeedSettingConfig)
+    guarantee: GuaranteeConfig = field(default_factory=GuaranteeConfig)
+    prime_rates: np.ndarray | None = None
+    wave_fraction: float = 0.25
+    wave_poll_interval_s: float = 0.25
+    speed_setter: str = "cr"
+    util_target: float = 0.6
+    adaptive_epochs: bool = False
+    max_epoch_multiple: float = 8.0
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        if self.migration not in ("shuffle", "sorted", "none"):
+            raise ValueError(f"unknown migration scheme {self.migration!r}")
+        if not 0.0 < self.wave_fraction <= 1.0:
+            raise ValueError("wave_fraction must be in (0, 1]")
+        if self.wave_poll_interval_s <= 0:
+            raise ValueError("wave_poll_interval_s must be positive")
+        if self.speed_setter not in ("cr", "utilization"):
+            raise ValueError(f"unknown speed setter {self.speed_setter!r}")
+        if not 0.0 < self.util_target < 1.0:
+            raise ValueError("util_target must be in (0, 1)")
+        if self.max_epoch_multiple < 1.0:
+            raise ValueError("max_epoch_multiple must be >= 1")
+
+
+class HibernatorPolicy(PowerPolicy):
+    """Energy management with a response-time goal (the paper's system)."""
+
+    name = "Hibernator"
+
+    def __init__(self, config: HibernatorConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or HibernatorConfig()
+        # Per-run state, initialized in attach().
+        self.heat: HeatTracker | None = None
+        self.boost: BoostController | None = None
+        self.executor: MigrationExecutor | None = None
+        self.assignment: SpeedAssignment | None = None
+        self.layout: TierLayout | None = None
+        self.epochs: list[EpochRecord] = []
+        self._size_stats = OnlineStats()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._model: MG1ResponseModel | None = None
+        self._speed_change_gen = 0
+        self._current_epoch_s = self.config.epoch_seconds
+        self._reads_seen = 0
+        self._writes_seen = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, sim: "ArraySimulation") -> None:
+        super().attach(sim)
+        array = sim.array
+        cfg = self.config
+        # On RAID-5 a logical write costs four physical ops
+        # (read-modify-write on data + parity), so the load the CR
+        # optimizer plans against must weight writes accordingly or it
+        # will under-provision and live off the boost.
+        self.heat = HeatTracker(
+            num_extents=array.num_extents,
+            smoothing=cfg.heat_smoothing,
+            write_weight=4.0 if array.config.raid5 else 1.0,
+        )
+        self.boost = BoostController(sim.goal_s, cfg.guarantee) if sim.goal_s else None
+        self.executor = MigrationExecutor(array, cfg.max_inflight_migrations)
+        self.assignment = None
+        self.layout = None
+        self.epochs = []
+        self._size_stats = OnlineStats()
+        self._rng = np.random.default_rng(cfg.seed)
+        self._model = None
+        self._speed_change_gen = 0
+        self._current_epoch_s = cfg.epoch_seconds
+        self._reads_seen = 0
+        self._writes_seen = 0
+        if cfg.prime_rates is not None:
+            # Steady-state start: the array was already running Hibernator
+            # before this window, so the primed configuration (speeds and
+            # layout) is applied instantaneously before any I/O arrives.
+            self.heat.prime(np.asarray(cfg.prime_rates, dtype=np.float64))
+            self._reconfigure(instant=True)
+        else:
+            array.set_all_speeds(array.config.spec.max_rpm)
+        sim.engine.schedule(self._current_epoch_s, self._epoch_boundary)
+
+    # -- request hooks ----------------------------------------------------------
+
+    def on_request_arrival(self, request: Request) -> None:
+        assert self.heat is not None
+        self.heat.record(request.extent, is_write=not request.is_read)
+        self._size_stats.add(float(request.size))
+        if request.is_read:
+            self._reads_seen += 1
+        else:
+            self._writes_seen += 1
+
+    def on_request_complete(self, request: Request) -> None:
+        if self.boost is None:
+            return
+        self.boost.observe(request.latency)
+        sim = self.sim
+        assert sim is not None
+        if self.boost.should_enter_boost():
+            self.boost.enter_boost(sim.engine.now)
+            self._boost_speeds()
+            assert self.executor is not None
+            self.executor.cancel()
+        # Exit is evaluated only at epoch boundaries: leaving mid-epoch
+        # would reinstate speeds chosen for the stale heat that caused
+        # the violation in the first place.
+
+    def on_finish(self, now: float) -> None:
+        if self.boost is not None:
+            self.boost.finish(now)
+
+    # -- epoch machinery -----------------------------------------------------------
+
+    def _epoch_boundary(self) -> None:
+        sim = self.sim
+        assert sim is not None and self.heat is not None
+        self.heat.close_epoch(self._current_epoch_s)
+        boosts_before = self.boost.boosts_entered if self.boost is not None else 0
+        if self.boost is not None and self.boost.should_exit_boost():
+            self.boost.exit_boost(sim.engine.now)
+        previous = self.assignment.boundaries if self.assignment is not None else None
+        self._reconfigure(instant=False)
+        if self.config.adaptive_epochs:
+            self._adapt_epoch_length(previous, boosts_before)
+        if sim._next_index < len(sim.trace) or sim._outstanding > 0:
+            sim.engine.schedule_after(self._current_epoch_s, self._epoch_boundary)
+
+    def _adapt_epoch_length(self, previous_boundaries, boosts_before: int) -> None:
+        """Grow the epoch while nothing changes; reset when it does."""
+        assert self.assignment is not None and self.boost is not None or True
+        base = self.config.epoch_seconds
+        boosted_since = (
+            self.boost is not None and self.boost.boosts_entered > boosts_before
+        ) or (self.boost is not None and self.boost.boosted)
+        unchanged = (
+            previous_boundaries is not None
+            and self.assignment is not None
+            and self.assignment.boundaries == previous_boundaries
+        )
+        if unchanged and not boosted_since:
+            self._current_epoch_s = min(
+                self._current_epoch_s * 2.0, base * self.config.max_epoch_multiple
+            )
+        else:
+            self._current_epoch_s = base
+
+    def _reconfigure(self, instant: bool) -> None:
+        sim = self.sim
+        assert sim is not None and self.heat is not None and self.executor is not None
+        array = sim.array
+        spec = array.config.spec
+        mean_size = self._size_stats.mean if self._size_stats.n else 4096.0
+        self._model = MG1ResponseModel(
+            mechanics=array.disks[0].mechanics,
+            mean_request_bytes=mean_size,
+        )
+        prev = self.assignment.boundaries if self.assignment is not None else None
+        planning_goal = self._planning_goal()
+        if self.config.speed_setter == "utilization":
+            assignment = solve_utilization_assignment(
+                heat=self.heat.heat,
+                num_disks=array.num_disks,
+                model=self._model,
+                spec=spec,
+                epoch_seconds=self._current_epoch_s,
+                util_target=self.config.util_target,
+            )
+        else:
+            assignment = solve_speed_assignment(
+                heat=self.heat.heat,
+                num_disks=array.num_disks,
+                model=self._model,
+                spec=spec,
+                epoch_seconds=self._current_epoch_s,
+                goal_s=planning_goal,
+                prev_boundaries=prev,
+                config=self.config.speed_setting,
+            )
+        self.assignment = assignment
+        self.layout = identity_layout(assignment)
+        boosted = self.boost is not None and self.boost.boosted
+        if instant:
+            for disk in array.disks:
+                disk.force_speed(self.layout.rpm_of_disk(disk.index))
+        elif not boosted:
+            self._apply_speeds()
+        plan = self._plan_migration()
+        if self.executor.active:
+            self.executor.cancel()
+        planned = plan.num_moves if plan is not None else 0
+        if plan is not None and plan.num_moves:
+            if instant:
+                # Steady-state start: the layout is already in place.
+                for extent, target in plan.moves:
+                    if array.extent_map.free_slots(target) > 0:
+                        array.extent_map.move(extent, target)
+            elif not boosted:
+                self.executor.start(plan)
+        self.epochs.append(
+            EpochRecord(
+                time=sim.engine.now,
+                configuration=assignment.describe(),
+                predicted_response_s=assignment.predicted_response_s,
+                predicted_energy_joules=assignment.predicted_energy_joules,
+                feasible=assignment.feasible,
+                planned_moves=planned,
+                boosted_at_boundary=boosted,
+            )
+        )
+
+    def _planning_goal(self) -> float | None:
+        """The goal the CR optimizer should plan disk responses against.
+
+        With an NVRAM write-back cache, writes complete at controller
+        latency and contribute essentially nothing to the measured mean,
+        so the whole latency budget belongs to the reads:
+
+            r * R_reads + (1 - r) * t_cache <= goal
+            =>  R_reads <= (goal - (1 - r) * t_cache) / r
+        """
+        sim = self.sim
+        assert sim is not None
+        goal = sim.goal_s
+        if goal is None or not sim.array.config.write_cache:
+            return goal
+        total = self._reads_seen + self._writes_seen
+        read_fraction = self._reads_seen / total if total else 0.5
+        if read_fraction < 0.01:
+            return goal * 50.0  # essentially no read latency to bound
+        cache_latency = sim.array.config.write_cache_latency_s
+        adjusted = (goal - (1.0 - read_fraction) * cache_latency) / read_fraction
+        return max(adjusted, goal)
+
+    def _plan_migration(self) -> MigrationPlan | None:
+        sim = self.sim
+        assert sim is not None and self.heat is not None and self.layout is not None
+        if self.config.migration == "none":
+            return None
+        hottest = self.heat.hottest_first()
+        if self.config.migration == "shuffle":
+            return plan_shuffle_migration(sim.array, self.layout, hottest, self._rng)
+        return plan_sorted_migration(sim.array, self.layout, hottest)
+
+    def _apply_speeds(self) -> None:
+        """Roll the layout's speeds through the array in waves."""
+        sim = self.sim
+        assert sim is not None
+        if self.layout is None:
+            self._staggered_speed_change(
+                {d.index: sim.array.config.spec.max_rpm for d in sim.array.disks}
+            )
+            return
+        self._staggered_speed_change(
+            {d.index: self.layout.rpm_of_disk(d.index) for d in sim.array.disks}
+        )
+
+    def _boost_speeds(self) -> None:
+        """Boost entry: roll every disk up to full speed."""
+        sim = self.sim
+        assert sim is not None
+        self._staggered_speed_change(
+            {d.index: sim.array.config.spec.max_rpm for d in sim.array.disks}
+        )
+
+    def _staggered_speed_change(self, targets: dict[int, int]) -> None:
+        """Issue speed changes in waves of ``wave_fraction`` of the array.
+
+        A new call supersedes any staggering still in flight (the
+        generation counter invalidates stale waves). Disks that need to
+        speed *up* go in the earliest waves — under pressure, capacity
+        arrives sooner.
+        """
+        sim = self.sim
+        assert sim is not None
+        array = sim.array
+        self._speed_change_gen += 1
+        gen = self._speed_change_gen
+        pending = [
+            (disk, rpm)
+            for disk, rpm in targets.items()
+            if array.disks[disk].requested_rpm != rpm or array.disks[disk].rpm != rpm
+        ]
+        if not pending:
+            return
+        # Upward changes first, largest jump first.
+        pending.sort(key=lambda t: array.disks[t[0]].rpm - t[1])
+        wave_size = max(1, int(round(self.config.wave_fraction * array.num_disks)))
+        self._run_wave(gen, pending, 0, wave_size)
+
+    def _run_wave(self, gen: int, pending: list[tuple[int, int]], start: int, wave_size: int) -> None:
+        sim = self.sim
+        assert sim is not None
+        if gen != self._speed_change_gen or start >= len(pending):
+            return
+        wave = pending[start : start + wave_size]
+        for disk, rpm in wave:
+            sim.array.disks[disk].set_speed(rpm)
+
+        def poll() -> None:
+            if gen != self._speed_change_gen:
+                return
+            settled = all(
+                sim.array.disks[disk].rpm == rpm and sim.array.disks[disk].is_spinning
+                for disk, rpm in wave
+            )
+            if settled:
+                self._run_wave(gen, pending, start + wave_size, wave_size)
+            else:
+                sim.engine.schedule_after(self.config.wave_poll_interval_s, poll)
+
+        sim.engine.schedule_after(self.config.wave_poll_interval_s, poll)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def describe(self) -> str:
+        cfg = self.config
+        return (
+            f"Hibernator(epoch={cfg.epoch_seconds:g}s, migration={cfg.migration}, "
+            f"guarantee={'on' if cfg.guarantee.enabled else 'off'})"
+        )
+
+    def extras(self) -> dict[str, float]:
+        out: dict[str, float] = {
+            "epochs": float(len(self.epochs)),
+            "final_epoch_s": self._current_epoch_s,
+            "infeasible_epochs": float(sum(1 for e in self.epochs if not e.feasible)),
+            "planned_moves": float(sum(e.planned_moves for e in self.epochs)),
+        }
+        if self.boost is not None:
+            out["boosts"] = float(self.boost.boosts_entered)
+            out["boost_seconds"] = self.boost.boost_seconds
+            out["final_deficit_s"] = self.boost.deficit
+        return out

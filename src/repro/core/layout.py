@@ -1,0 +1,112 @@
+"""Multi-tier data layout.
+
+A :class:`TierLayout` binds one epoch's :class:`SpeedAssignment` to the
+physical array: which disks form each speed tier, and which tier each
+extent *should* live on (hottest extents on the fastest tier, in
+proportion to tier size). Within a tier, placement is deliberately
+random/balanced rather than sorted — spreading each tier's load evenly
+across its disks is what makes the per-tier M/G/1 prediction (and the
+energy model behind the CR choice) hold in practice.
+
+Disks keep a fixed order across epochs; tiers are contiguous runs of
+that order. When the optimizer moves a boundary by one disk, exactly one
+disk changes tier — the property the randomized shuffling migration
+exploits to move minimal data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.speed_setting import SpeedAssignment
+
+
+@dataclass
+class TierLayout:
+    """Physical realization of a speed assignment.
+
+    Attributes:
+        assignment: the CR decision this layout realizes.
+        disk_order: physical disk id at each position (position p is in
+            the tier whose boundary range contains p).
+    """
+
+    assignment: SpeedAssignment
+    disk_order: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.disk_order) != self.assignment.boundaries[-1]:
+            raise ValueError(
+                f"disk_order has {len(self.disk_order)} disks, assignment covers "
+                f"{self.assignment.boundaries[-1]}"
+            )
+        if sorted(self.disk_order) != list(range(len(self.disk_order))):
+            raise ValueError("disk_order must be a permutation of disk ids")
+        self._tier_by_disk = np.empty(len(self.disk_order), dtype=np.int32)
+        for position, disk in enumerate(self.disk_order):
+            self._tier_by_disk[disk] = self.assignment.tier_of_position(position)
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.assignment.speeds_desc)
+
+    def tier_of_disk(self, disk: int) -> int:
+        """Tier index (0 = fastest) of a physical disk."""
+        return int(self._tier_by_disk[disk])
+
+    def rpm_of_disk(self, disk: int) -> int:
+        """Speed the disk runs at under this layout."""
+        return self.assignment.speeds_desc[self.tier_of_disk(disk)]
+
+    def disks_in_tier(self, tier: int) -> list[int]:
+        """Physical disks of one tier, in position order."""
+        lo = self.assignment.boundaries[tier]
+        hi = self.assignment.boundaries[tier + 1]
+        return [self.disk_order[p] for p in range(lo, hi)]
+
+    def target_tiers(self, hottest_first: np.ndarray) -> np.ndarray:
+        """Desired tier per extent id.
+
+        Args:
+            hottest_first: extent ids ordered hottest to coldest (from
+                :meth:`repro.core.temperature.HeatTracker.hottest_first`).
+
+        Returns:
+            int array indexed by extent id with the tier each extent
+            belongs on. Extents that fall in an empty tier's (zero-width)
+            range are pushed to the nearest non-empty tier below/above.
+        """
+        num_extents = len(hottest_first)
+        eb = self.assignment.extent_boundaries
+        if eb[-1] != num_extents:
+            raise ValueError(
+                f"layout was built for {eb[-1]} extents, got {num_extents}"
+            )
+        target = np.empty(num_extents, dtype=np.int32)
+        nonempty = [t for t in range(self.num_tiers) if self.disks_in_tier(t)]
+        if not nonempty:
+            raise ValueError("layout has no disks")
+        for tier in range(self.num_tiers):
+            lo, hi = eb[tier], eb[tier + 1]
+            if lo == hi:
+                continue
+            owner = tier
+            if not self.disks_in_tier(tier):
+                # Extent share rounded into an empty tier: reassign to the
+                # nearest tier that actually has disks.
+                owner = min(nonempty, key=lambda t: (abs(t - tier), t))
+            target[hottest_first[lo:hi]] = owner
+        return target
+
+    def describe(self) -> str:
+        return self.assignment.describe()
+
+
+def identity_layout(assignment: SpeedAssignment) -> TierLayout:
+    """Layout with disk i at position i (the default fixed order)."""
+    return TierLayout(
+        assignment=assignment,
+        disk_order=tuple(range(assignment.boundaries[-1])),
+    )

@@ -1,0 +1,389 @@
+"""CR: the coarse-grained disk-speed setting algorithm.
+
+At each epoch boundary Hibernator chooses, for the *whole next epoch*,
+how many disks spin at each supported speed. Disks are kept in a fixed
+order and partitioned into contiguous *tiers*, fastest tier first; the
+hottest extents are assigned to the fastest tier in proportion to its
+disk count (the multi-tier layout), so a candidate partition fully
+determines each tier's predicted load.
+
+For every candidate partition the optimizer predicts
+
+* **response time** — load-weighted M/G/1 mean across tiers
+  (:mod:`repro.core.response_model`), and
+* **energy** — per-tier idle power plus seek power times predicted
+  utilization, over the epoch, plus a reconfiguration penalty
+  proportional to how far tier boundaries move (speed transitions and
+  migration are not free),
+
+and picks the minimum-energy candidate whose predicted response time
+meets the goal. If no candidate is predicted to meet the goal the
+assignment falls back to all disks at full speed — the same conservative
+choice the performance guarantee would force anyway.
+
+The search enumerates all non-decreasing boundary vectors (compositions
+of N disks over K speeds) with branch-and-bound pruning on both partial
+energy and partial weighted response; for the paper-scale arrays
+(N <= 32, K <= 5) this is exhaustive and exact within the monotone
+hot-to-fast layout family.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.response_model import MG1ResponseModel, TierPrediction
+from repro.disks.specs import DiskSpec
+
+
+@dataclass
+class SpeedSettingConfig:
+    """CR optimizer knobs.
+
+    Attributes:
+        change_penalty_joules: energy charged per disk-position a tier
+            boundary moves (accounts for spindle transitions and the
+            migration the move triggers). 0 disables the penalty.
+        goal_margin: fraction of the goal held back as safety margin;
+            the optimizer plans against ``goal * (1 - goal_margin)``.
+    """
+
+    change_penalty_joules: float = 200.0
+    goal_margin: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.change_penalty_joules < 0:
+            raise ValueError("change_penalty_joules must be non-negative")
+        if not 0.0 <= self.goal_margin < 1.0:
+            raise ValueError("goal_margin must be in [0, 1)")
+
+
+@dataclass
+class SpeedAssignment:
+    """The CR optimizer's decision for one epoch.
+
+    Attributes:
+        speeds_desc: supported speeds, fastest first (the tier order).
+        boundaries: cumulative disk counts per tier; tier ``t`` spans
+            disk positions ``[boundaries[t], boundaries[t+1])``. Length
+            ``K + 1`` with ``boundaries[0] == 0`` and
+            ``boundaries[K] == num_disks``.
+        extent_boundaries: cumulative extent counts per tier over the
+            hottest-first extent order.
+        predictions: per-tier M/G/1 predictions (only non-empty tiers).
+        predicted_energy_joules: epoch energy of the chosen candidate
+            (excluding the change penalty).
+        predicted_response_s: load-weighted mean response time.
+        feasible: False when the fallback (all full speed) was forced.
+    """
+
+    speeds_desc: tuple[int, ...]
+    boundaries: tuple[int, ...]
+    extent_boundaries: tuple[int, ...]
+    predictions: list[TierPrediction]
+    predicted_energy_joules: float
+    predicted_response_s: float
+    feasible: bool
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Disks per speed, fastest first."""
+        return tuple(
+            self.boundaries[t + 1] - self.boundaries[t] for t in range(len(self.speeds_desc))
+        )
+
+    def rpm_for_position(self, position: int) -> int:
+        """Speed of the disk at ``position`` in the fixed disk order."""
+        for t in range(len(self.speeds_desc)):
+            if self.boundaries[t] <= position < self.boundaries[t + 1]:
+                return self.speeds_desc[t]
+        raise ValueError(f"position {position} outside [0, {self.boundaries[-1]})")
+
+    def tier_of_position(self, position: int) -> int:
+        for t in range(len(self.speeds_desc)):
+            if self.boundaries[t] <= position < self.boundaries[t + 1]:
+                return t
+        raise ValueError(f"position {position} outside [0, {self.boundaries[-1]})")
+
+    def describe(self) -> str:
+        parts = [
+            f"{count}@{rpm}"
+            for count, rpm in zip(self.counts, self.speeds_desc)
+            if count > 0
+        ]
+        return "+".join(parts)
+
+
+def _extent_boundaries(num_extents: int, num_disks: int, boundaries: tuple[int, ...]) -> tuple[int, ...]:
+    """Map disk boundaries to extent boundaries (proportional shares)."""
+    share = num_extents / num_disks
+    out = [0]
+    for b in boundaries[1:-1]:
+        out.append(int(round(b * share)))
+    out.append(num_extents)
+    # Rounding can break monotonicity only at extremes; repair defensively.
+    for i in range(1, len(out)):
+        out[i] = max(out[i], out[i - 1])
+    return tuple(out)
+
+
+def solve_speed_assignment(
+    heat: np.ndarray,
+    num_disks: int,
+    model: MG1ResponseModel,
+    spec: DiskSpec,
+    epoch_seconds: float,
+    goal_s: float | None,
+    prev_boundaries: tuple[int, ...] | None = None,
+    config: SpeedSettingConfig | None = None,
+) -> SpeedAssignment:
+    """Choose the epoch's tier configuration (the CR algorithm).
+
+    Args:
+        heat: per-extent predicted request rates (requests/second).
+        num_disks: array width.
+        model: response model built on the array's disk mechanics.
+        spec: disk hardware parameters (for speeds and power).
+        epoch_seconds: planning horizon.
+        goal_s: average response-time goal; None = energy-only (still
+            requires every loaded tier to be stable).
+        prev_boundaries: last epoch's boundary vector, for the
+            reconfiguration penalty.
+        config: optimizer knobs.
+    """
+    if num_disks <= 0:
+        raise ValueError("num_disks must be positive")
+    if epoch_seconds <= 0:
+        raise ValueError("epoch_seconds must be positive")
+    cfg = config or SpeedSettingConfig()
+    heat = np.asarray(heat, dtype=np.float64)
+    num_extents = len(heat)
+    if num_extents == 0:
+        raise ValueError("heat vector is empty")
+
+    speeds_desc = tuple(sorted(spec.rpm_levels, reverse=True))
+    num_speeds = len(speeds_desc)
+    sorted_heat = np.sort(heat, kind="stable")[::-1]
+    prefix = np.concatenate(([0.0], np.cumsum(sorted_heat)))
+    total_lambda = float(prefix[-1])
+    share = num_extents / num_disks
+
+    planning_goal = None
+    if goal_s is not None:
+        planning_goal = goal_s * (1.0 - cfg.goal_margin)
+    # Constraint in sum form: sum_t lambda_t * R_t <= goal * Lambda.
+    response_budget = math.inf if planning_goal is None else planning_goal * total_lambda
+
+    # Per-(speed, boundary-pair) tier evaluation, built incrementally in
+    # the recursion below.
+    def tier_cost(speed_idx: int, disk_lo: int, disk_hi: int) -> tuple[float, float, TierPrediction] | None:
+        """(energy_J, weighted_response, prediction) for one tier, or
+        None when the tier is saturated."""
+        n = disk_hi - disk_lo
+        rpm = speeds_desc[speed_idx]
+        e_lo = int(round(disk_lo * share)) if disk_lo < num_disks else num_extents
+        e_hi = num_extents if disk_hi == num_disks else int(round(disk_hi * share))
+        e_hi = max(e_hi, e_lo)
+        tier_lambda = float(prefix[e_hi] - prefix[e_lo])
+        per_disk = tier_lambda / n
+        moments = model.moments(rpm)
+        rho = per_disk * moments.mean
+        if rho >= model.max_utilization and tier_lambda > 0:
+            return None
+        if tier_lambda > 0:
+            wait = per_disk * moments.second / (2.0 * (1.0 - rho))
+            response = moments.mean + wait
+        else:
+            response = moments.mean
+            rho = 0.0
+        energy = n * spec.idle_watts(rpm) * epoch_seconds
+        energy += tier_lambda * moments.mean * spec.seek_watts * epoch_seconds
+        prediction = TierPrediction(
+            rpm=rpm,
+            num_disks=n,
+            tier_lambda=tier_lambda,
+            per_disk_lambda=per_disk,
+            utilization=rho,
+            response_s=response,
+        )
+        return energy, tier_lambda * response, prediction
+
+    def change_penalty(boundaries: tuple[int, ...]) -> float:
+        if prev_boundaries is None or cfg.change_penalty_joules == 0.0:
+            return 0.0
+        if len(prev_boundaries) != len(boundaries):
+            return 0.0
+        moved = sum(
+            abs(boundaries[t] - prev_boundaries[t]) for t in range(1, len(boundaries) - 1)
+        )
+        return moved * cfg.change_penalty_joules
+
+    best_energy = math.inf
+    best: tuple[tuple[int, ...], list[TierPrediction], float, float] | None = None
+
+    # Depth-first enumeration of non-decreasing boundary vectors.
+    def recurse(
+        speed_idx: int,
+        disk_cursor: int,
+        partial_energy: float,
+        partial_weighted: float,
+        partial_boundaries: list[int],
+        partial_predictions: list[TierPrediction],
+    ) -> None:
+        nonlocal best_energy, best
+        if speed_idx == num_speeds - 1:
+            # Last (slowest) tier takes all remaining disks.
+            lo, hi = disk_cursor, num_disks
+            boundaries = tuple(partial_boundaries + [num_disks])
+            if hi > lo:
+                result = tier_cost(speed_idx, lo, hi)
+                if result is None:
+                    return
+                energy, weighted, prediction = result
+                partial_energy += energy
+                partial_weighted += weighted
+                predictions = partial_predictions + [prediction]
+            else:
+                predictions = list(partial_predictions)
+            if partial_weighted > response_budget:
+                return
+            total = partial_energy + change_penalty(boundaries)
+            if total < best_energy:
+                best_energy = total
+                response = partial_weighted / total_lambda if total_lambda > 0 else 0.0
+                best = (boundaries, predictions, partial_energy, response)
+            return
+        for next_cursor in range(disk_cursor, num_disks + 1):
+            energy = partial_energy
+            weighted = partial_weighted
+            predictions = partial_predictions
+            if next_cursor > disk_cursor:
+                result = tier_cost(speed_idx, disk_cursor, next_cursor)
+                if result is None:
+                    continue
+                tier_energy, tier_weighted, prediction = result
+                energy = partial_energy + tier_energy
+                weighted = partial_weighted + tier_weighted
+                if weighted > response_budget:
+                    continue
+                if energy >= best_energy:
+                    continue
+                predictions = partial_predictions + [prediction]
+            recurse(
+                speed_idx + 1,
+                next_cursor,
+                energy,
+                weighted,
+                partial_boundaries + [next_cursor],
+                predictions,
+            )
+
+    recurse(0, 0, 0.0, 0.0, [0], [])
+
+    if best is None:
+        # Nothing met the goal: fall back to everything at full speed.
+        boundaries = tuple([0, num_disks] + [num_disks] * (num_speeds - 1))
+        result = tier_cost(0, 0, num_disks)
+        if result is None:
+            # Even full speed saturates; report it anyway (the simulation
+            # will show the overload, as the real system would).
+            moments = model.moments(speeds_desc[0])
+            prediction = TierPrediction(
+                rpm=speeds_desc[0],
+                num_disks=num_disks,
+                tier_lambda=total_lambda,
+                per_disk_lambda=total_lambda / num_disks,
+                utilization=1.0,
+                response_s=math.inf,
+            )
+            energy = num_disks * spec.active_watts(speeds_desc[0]) * epoch_seconds
+            weighted = math.inf
+        else:
+            energy, weighted, prediction = result
+        return SpeedAssignment(
+            speeds_desc=speeds_desc,
+            boundaries=boundaries,
+            extent_boundaries=_extent_boundaries(num_extents, num_disks, boundaries),
+            predictions=[prediction],
+            predicted_energy_joules=energy,
+            predicted_response_s=(weighted / total_lambda if total_lambda > 0 else 0.0),
+            feasible=False,
+        )
+
+    boundaries, predictions, energy, response = best
+    return SpeedAssignment(
+        speeds_desc=speeds_desc,
+        boundaries=boundaries,
+        extent_boundaries=_extent_boundaries(num_extents, num_disks, boundaries),
+        predictions=predictions,
+        predicted_energy_joules=energy,
+        predicted_response_s=response,
+        feasible=True,
+    )
+
+
+def solve_utilization_assignment(
+    heat: np.ndarray,
+    num_disks: int,
+    model: MG1ResponseModel,
+    spec: DiskSpec,
+    epoch_seconds: float,
+    util_target: float = 0.6,
+) -> SpeedAssignment:
+    """The naive coarse-grained strawman: utilization targeting.
+
+    Instead of predicting response times against a goal, pick the single
+    slowest speed at which the array's average utilization stays at or
+    below ``util_target``, and run every disk there (no tiers). This is
+    what a coarse-grained controller looks like *without* the paper's
+    queueing model — the A3 ablation measures what the model buys.
+    """
+    if not 0.0 < util_target < 1.0:
+        raise ValueError(f"util_target must be in (0, 1), got {util_target!r}")
+    if num_disks <= 0:
+        raise ValueError("num_disks must be positive")
+    heat = np.asarray(heat, dtype=np.float64)
+    if len(heat) == 0:
+        raise ValueError("heat vector is empty")
+    total_lambda = float(heat.sum())
+    per_disk = total_lambda / num_disks
+    speeds_desc = tuple(sorted(spec.rpm_levels, reverse=True))
+    chosen_idx = 0  # fall back to fastest if nothing meets the target
+    for idx in range(len(speeds_desc) - 1, -1, -1):  # slowest first
+        rpm = speeds_desc[idx]
+        if per_disk * model.moments(rpm).mean <= util_target:
+            chosen_idx = idx
+            break
+    rpm = speeds_desc[chosen_idx]
+    moments = model.moments(rpm)
+    rho = per_disk * moments.mean
+    if rho < model.max_utilization:
+        wait = per_disk * moments.second / (2.0 * (1.0 - rho)) if total_lambda > 0 else 0.0
+        response = moments.mean + wait
+    else:
+        response = math.inf
+    energy = num_disks * spec.idle_watts(rpm) * epoch_seconds
+    energy += total_lambda * moments.mean * spec.seek_watts * epoch_seconds
+    boundaries = [0] * (len(speeds_desc) + 1)
+    for t in range(chosen_idx + 1, len(speeds_desc) + 1):
+        boundaries[t] = num_disks
+    prediction = TierPrediction(
+        rpm=rpm,
+        num_disks=num_disks,
+        tier_lambda=total_lambda,
+        per_disk_lambda=per_disk,
+        utilization=rho,
+        response_s=response,
+    )
+    return SpeedAssignment(
+        speeds_desc=speeds_desc,
+        boundaries=tuple(boundaries),
+        extent_boundaries=_extent_boundaries(len(heat), num_disks, tuple(boundaries)),
+        predictions=[prediction],
+        predicted_energy_joules=energy,
+        predicted_response_s=response,
+        feasible=rho < model.max_utilization,
+    )

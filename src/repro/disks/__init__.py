@@ -1,0 +1,43 @@
+"""Multi-speed disk substrate.
+
+Models the hardware Hibernator assumes: disks that can spin at several
+rotational speeds, serving requests at any speed, with power that falls
+steeply at lower RPM (spindle power scales roughly with RPM^2.8).
+
+* :mod:`repro.disks.specs` -- parameter sets (IBM Ultrastar 36Z15-derived
+  multi-speed disk, plus factories for 2..N speed-level variants).
+* :mod:`repro.disks.mechanics` -- service-time model (seek, rotation,
+  transfer) and its analytic moments, used both to serve requests and to
+  feed the CR optimizer's queueing predictions.
+* :mod:`repro.disks.power` -- power states, transition costs and energy
+  metering.
+* :mod:`repro.disks.disk` -- a single multi-speed disk: FCFS queue,
+  speed/standby state machine, energy integration.
+* :mod:`repro.disks.mapping` -- extent-to-disk placement map with O(1)
+  moves/swaps (the substrate under data migration).
+* :mod:`repro.disks.array` -- the disk array: fans logical requests out
+  to physical disk ops, optionally through the RAID-5 layer.
+* :mod:`repro.disks.raid` -- RAID-5 request expansion (read-modify-write).
+"""
+
+from repro.disks.array import ArrayConfig, DiskArray
+from repro.disks.disk import DiskState, MultiSpeedDisk
+from repro.disks.mapping import ExtentMap
+from repro.disks.mechanics import DiskMechanics, ServiceMoments
+from repro.disks.power import EnergyMeter, PowerBreakdown
+from repro.disks.specs import DiskSpec, make_multispeed_spec, ultrastar_36z15
+
+__all__ = [
+    "ArrayConfig",
+    "DiskArray",
+    "DiskState",
+    "MultiSpeedDisk",
+    "ExtentMap",
+    "DiskMechanics",
+    "ServiceMoments",
+    "EnergyMeter",
+    "PowerBreakdown",
+    "DiskSpec",
+    "make_multispeed_spec",
+    "ultrastar_36z15",
+]

@@ -1,0 +1,147 @@
+"""Extent-to-disk placement map.
+
+The array stores fixed-size logical *extents*; each extent lives in one
+*slot* on one disk. Heat tracking, tiering and migration all operate at
+extent granularity, so the map supports O(1) lookup, O(1) move (to any
+disk with a free slot) and O(1) swap — the primitives the randomized
+shuffling migration planner needs.
+
+Slots double as physical positions: slot *k* on a disk is block *k* for
+seek-distance purposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ExtentMap:
+    """Bidirectional extent <-> (disk, slot) mapping.
+
+    Args:
+        num_extents: number of logical extents.
+        num_disks: number of disks.
+        slots_per_disk: physical capacity of each disk in extents. Must
+            satisfy ``num_disks * slots_per_disk >= num_extents``; the
+            surplus is migration headroom.
+        initial: 'striped' places extent ``e`` on disk ``e % num_disks``
+            (round robin); 'packed' fills disk 0 first, then disk 1, etc.
+        allowed_disks: restrict *initial* placement to these disks (MAID
+            keeps its cache disks data-free at start). Later moves may
+            target any disk.
+    """
+
+    def __init__(
+        self,
+        num_extents: int,
+        num_disks: int,
+        slots_per_disk: int,
+        initial: str = "striped",
+        allowed_disks: tuple[int, ...] | None = None,
+    ) -> None:
+        if num_extents <= 0 or num_disks <= 0 or slots_per_disk <= 0:
+            raise ValueError("num_extents, num_disks and slots_per_disk must be positive")
+        targets = tuple(range(num_disks)) if allowed_disks is None else tuple(allowed_disks)
+        if not targets or any(not 0 <= d < num_disks for d in targets):
+            raise ValueError(f"allowed_disks out of range: {allowed_disks!r}")
+        if len(targets) * slots_per_disk < num_extents:
+            raise ValueError(
+                f"capacity {len(targets) * slots_per_disk} extents cannot hold {num_extents}"
+            )
+        self.num_extents = num_extents
+        self.num_disks = num_disks
+        self.slots_per_disk = slots_per_disk
+        self._disk = np.empty(num_extents, dtype=np.int32)
+        self._slot = np.empty(num_extents, dtype=np.int32)
+        self._residents: list[set[int]] = [set() for _ in range(num_disks)]
+        self._free_slots: list[list[int]] = [
+            list(range(slots_per_disk - 1, -1, -1)) for _ in range(num_disks)
+        ]
+        if initial == "striped":
+            for extent in range(num_extents):
+                self._place(extent, targets[extent % len(targets)])
+        elif initial == "packed":
+            for extent in range(num_extents):
+                self._place(extent, targets[extent // slots_per_disk])
+        else:
+            raise ValueError(f"unknown initial layout {initial!r}")
+
+    def _place(self, extent: int, disk: int) -> None:
+        slot = self._free_slots[disk].pop()
+        self._disk[extent] = disk
+        self._slot[extent] = slot
+        self._residents[disk].add(extent)
+
+    # -- queries -----------------------------------------------------------
+
+    def disk_of(self, extent: int) -> int:
+        """Disk currently holding ``extent``."""
+        return int(self._disk[extent])
+
+    def slot_of(self, extent: int) -> int:
+        """Slot (physical block position) of ``extent`` on its disk."""
+        return int(self._slot[extent])
+
+    def extents_on(self, disk: int) -> set[int]:
+        """Extents resident on ``disk`` (live view; do not mutate)."""
+        return self._residents[disk]
+
+    def free_slots(self, disk: int) -> int:
+        """Number of unoccupied slots on ``disk``."""
+        return len(self._free_slots[disk])
+
+    def occupancy(self) -> np.ndarray:
+        """Array of resident-extent counts per disk."""
+        return np.array([len(r) for r in self._residents], dtype=np.int64)
+
+    # -- mutation -----------------------------------------------------------
+
+    def move(self, extent: int, to_disk: int) -> None:
+        """Relocate ``extent`` to a free slot on ``to_disk``.
+
+        Raises:
+            ValueError: if ``to_disk`` has no free slot.
+        """
+        from_disk = int(self._disk[extent])
+        if from_disk == to_disk:
+            return
+        if not self._free_slots[to_disk]:
+            raise ValueError(f"disk {to_disk} has no free slot for extent {extent}")
+        self._free_slots[from_disk].append(int(self._slot[extent]))
+        self._residents[from_disk].discard(extent)
+        self._place(extent, to_disk)
+
+    def swap(self, a: int, b: int) -> None:
+        """Exchange the placements of extents ``a`` and ``b``."""
+        if a == b:
+            return
+        disk_a, slot_a = int(self._disk[a]), int(self._slot[a])
+        disk_b, slot_b = int(self._disk[b]), int(self._slot[b])
+        self._disk[a], self._slot[a] = disk_b, slot_b
+        self._disk[b], self._slot[b] = disk_a, slot_a
+        if disk_a != disk_b:
+            self._residents[disk_a].discard(a)
+            self._residents[disk_b].discard(b)
+            self._residents[disk_b].add(a)
+            self._residents[disk_a].add(b)
+
+    # -- invariants (used by property tests) ---------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raises AssertionError on breakage."""
+        seen: set[tuple[int, int]] = set()
+        for extent in range(self.num_extents):
+            disk = int(self._disk[extent])
+            slot = int(self._slot[extent])
+            assert 0 <= disk < self.num_disks, f"extent {extent} on bad disk {disk}"
+            assert 0 <= slot < self.slots_per_disk, f"extent {extent} in bad slot {slot}"
+            assert (disk, slot) not in seen, f"slot collision at {(disk, slot)}"
+            seen.add((disk, slot))
+            assert extent in self._residents[disk], f"resident set misses extent {extent}"
+        total_resident = sum(len(r) for r in self._residents)
+        assert total_resident == self.num_extents, "resident sets out of sync"
+        for disk in range(self.num_disks):
+            used = {int(self._slot[e]) for e in self._residents[disk]}
+            free = set(self._free_slots[disk])
+            assert not (used & free), f"disk {disk}: slot both used and free"
+            assert len(used) + len(free) == self.slots_per_disk, f"disk {disk}: slots leaked"

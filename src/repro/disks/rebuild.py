@@ -1,0 +1,133 @@
+"""RAID-5 rebuild: re-protecting data after a disk failure.
+
+After :meth:`DiskArray.fail_disk`, the dead disk's extents are served in
+degraded mode (reconstruction reads fan out to every survivor). The
+rebuilder removes that exposure: extent by extent, it
+
+1. issues one reconstruction read on each surviving disk,
+2. writes the recovered extent to the least-loaded healthy disk with a
+   free slot (distributed sparing — no dedicated hot spare needed), and
+3. atomically remaps the extent, after which requests stop touching the
+   dead disk.
+
+Rebuild I/O is real background traffic: it competes with foreground
+requests for disk time and energy, which is exactly the degraded-window
+trade-off (rebuild fast and hurt latency, or rebuild slow and stay
+exposed) that the concurrency bound expresses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.disks.array import DiskArray
+from repro.sim.request import DiskOp, IoKind
+
+
+class RebuildManager:
+    """Rebuilds one failed disk's extents with bounded concurrency."""
+
+    def __init__(self, array: DiskArray, max_inflight: int = 2) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.array = array
+        self.max_inflight = max_inflight
+        self.rebuilt = 0
+        self.unplaced = 0
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self._pending: deque[int] = deque()
+        self._inflight = 0
+        self._on_done: Callable[["RebuildManager"], None] | None = None
+
+    @property
+    def active(self) -> bool:
+        return self._inflight > 0 or bool(self._pending)
+
+    def start(
+        self,
+        failed_disk: int,
+        on_done: Callable[["RebuildManager"], None] | None = None,
+    ) -> int:
+        """Begin rebuilding every extent resident on ``failed_disk``.
+
+        Returns the number of extents scheduled. ``on_done`` fires when
+        the queue drains (including the zero-extent case).
+        """
+        if self.active:
+            raise RuntimeError("rebuild already in progress")
+        if failed_disk not in self.array.failed_disks:
+            raise ValueError(f"disk {failed_disk} has not failed; nothing to rebuild")
+        self._pending = deque(sorted(self.array.extent_map.extents_on(failed_disk)))
+        self._on_done = on_done
+        self.rebuilt = 0
+        self.unplaced = 0
+        self.started_at = self.array.engine.now
+        self.finished_at = None
+        scheduled = len(self._pending)
+        self._pump()
+        return scheduled
+
+    def _healthy_target(self) -> int | None:
+        emap = self.array.extent_map
+        best: int | None = None
+        best_occupancy = None
+        for disk in range(self.array.num_disks):
+            if disk in self.array.failed_disks:
+                continue
+            if emap.free_slots(disk) - self.array._reserved_slots[disk] <= 0:
+                continue
+            occupancy = len(emap.extents_on(disk))
+            if best_occupancy is None or occupancy < best_occupancy:
+                best, best_occupancy = disk, occupancy
+        return best
+
+    def _pump(self) -> None:
+        while self._inflight < self.max_inflight and self._pending:
+            extent = self._pending.popleft()
+            if not self._rebuild_one(extent):
+                self.unplaced += 1
+        if self._inflight == 0 and not self._pending:
+            self.finished_at = self.array.engine.now
+            if self._on_done is not None:
+                callback, self._on_done = self._on_done, None
+                callback(self)
+
+    def _rebuild_one(self, extent: int) -> bool:
+        array = self.array
+        target = self._healthy_target()
+        if target is None:
+            return False
+        array._reserved_slots[target] += 1
+        self._inflight += 1
+        survivors = [
+            d for d in range(array.num_disks) if d not in array.failed_disks
+        ]
+        slot = array.extent_map.slot_of(extent)
+        block = min(slot, array.config.slots_per_disk - 1)
+        size = array.config.extent_bytes
+        remaining = {"reads": len(survivors)}
+
+        def _read_done(_op: DiskOp) -> None:
+            remaining["reads"] -= 1
+            if remaining["reads"] == 0:
+                array.submit_background_op(target, block, IoKind.WRITE, size, _write_done)
+
+        def _write_done(_op: DiskOp) -> None:
+            array._reserved_slots[target] -= 1
+            array.extent_map.move(extent, target)
+            self.rebuilt += 1
+            self._inflight -= 1
+            self._pump()
+
+        for disk in survivors:
+            array.submit_background_op(disk, block, IoKind.READ, size, _read_done)
+        return True
+
+    @property
+    def duration_s(self) -> float | None:
+        """Wall time of the completed rebuild (None while running)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at

@@ -1,0 +1,164 @@
+"""Per-disk queue scheduling disciplines.
+
+The disk serves one op at a time; the discipline decides which queued op
+goes next:
+
+* :class:`FcfsQueue` — arrival order. What the paper (and the M/G/1
+  prediction the CR optimizer uses) assumes.
+* :class:`SstfQueue` — shortest seek time first: always the op nearest
+  the head. Cuts seek time under load at the cost of potential
+  starvation of far-away ops.
+* :class:`ScanQueue` — the elevator: sweep the head in one direction
+  serving everything on the way, reverse at the last request. Bounded
+  unfairness, near-SSTF seek efficiency.
+
+Disciplines only reorder *within a disk's queue*; they are orthogonal to
+the array-level power policies, and the scheduler ablation benchmark
+(A5) measures how much they shift the energy/latency picture.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+from repro.sim.request import DiskOp
+
+
+class QueueDiscipline(abc.ABC):
+    """Order ops waiting for one disk."""
+
+    name = "discipline"
+
+    @abc.abstractmethod
+    def push(self, op: DiskOp) -> None:
+        """Add an op to the queue."""
+
+    @abc.abstractmethod
+    def pop(self, head_block: int) -> DiskOp:
+        """Remove and return the next op to serve given the head position.
+
+        Raises IndexError when empty.
+        """
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop all queued ops (used only by tests/teardown)."""
+
+
+class FcfsQueue(QueueDiscipline):
+    """First come, first served."""
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        self._queue: deque[DiskOp] = deque()
+
+    def push(self, op: DiskOp) -> None:
+        self._queue.append(op)
+
+    def pop(self, head_block: int) -> DiskOp:
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def clear(self) -> None:
+        self._queue.clear()
+
+
+class SstfQueue(QueueDiscipline):
+    """Shortest seek time first: nearest block to the head wins.
+
+    Ties break toward the earliest-queued op, keeping the schedule
+    deterministic.
+    """
+
+    name = "sstf"
+
+    def __init__(self) -> None:
+        self._ops: list[DiskOp] = []
+
+    def push(self, op: DiskOp) -> None:
+        self._ops.append(op)
+
+    def pop(self, head_block: int) -> DiskOp:
+        if not self._ops:
+            raise IndexError("pop from empty queue")
+        best_index = 0
+        best_distance = abs(self._ops[0].block - head_block)
+        for i, op in enumerate(self._ops[1:], start=1):
+            distance = abs(op.block - head_block)
+            if distance < best_distance:
+                best_index, best_distance = i, distance
+        return self._ops.pop(best_index)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def clear(self) -> None:
+        self._ops.clear()
+
+
+class ScanQueue(QueueDiscipline):
+    """Elevator (SCAN): serve in the sweep direction, reverse at the end."""
+
+    name = "scan"
+
+    def __init__(self) -> None:
+        self._ops: list[DiskOp] = []
+        self._direction = 1  # +1 toward higher blocks
+
+    def push(self, op: DiskOp) -> None:
+        self._ops.append(op)
+
+    def pop(self, head_block: int) -> DiskOp:
+        if not self._ops:
+            raise IndexError("pop from empty queue")
+        chosen = self._nearest_in_direction(head_block, self._direction)
+        if chosen is None:
+            self._direction = -self._direction
+            chosen = self._nearest_in_direction(head_block, self._direction)
+        assert chosen is not None  # some op must lie on one side
+        return self._ops.pop(chosen)
+
+    def _nearest_in_direction(self, head_block: int, direction: int) -> int | None:
+        best_index: int | None = None
+        best_distance = None
+        for i, op in enumerate(self._ops):
+            delta = (op.block - head_block) * direction
+            if delta < 0:
+                continue
+            if best_distance is None or delta < best_distance:
+                best_index, best_distance = i, delta
+        return best_index
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def clear(self) -> None:
+        self._ops.clear()
+        self._direction = 1
+
+
+_DISCIPLINES = {
+    "fcfs": FcfsQueue,
+    "sstf": SstfQueue,
+    "scan": ScanQueue,
+}
+
+
+def make_discipline(name: str) -> QueueDiscipline:
+    """Instantiate a discipline by name ('fcfs', 'sstf', 'scan')."""
+    try:
+        return _DISCIPLINES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling discipline {name!r}; choose from {sorted(_DISCIPLINES)}"
+        ) from None

@@ -1,0 +1,201 @@
+"""Disk parameter sets.
+
+The reference disk is derived from the IBM Ultrastar 36Z15, the drive
+both DRPM (Gurumurthi et al., ISCA'03) and Hibernator built their
+multi-speed models on. Multi-speed disks never shipped, so — exactly as
+the paper did — we extrapolate the single-speed data sheet to multiple
+speed levels with the standard scaling laws:
+
+* rotational latency and (internal) transfer rate scale linearly with
+  RPM;
+* spindle power scales with RPM**2.8 on top of a constant electronics
+  floor;
+* seek time is RPM-independent (arm, not spindle).
+
+All times are seconds, sizes bytes, power watts, energy joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Complete parameter set for one multi-speed disk model.
+
+    Attributes:
+        name: human-readable model name.
+        capacity_bytes: usable capacity.
+        rpm_levels: supported spindle speeds, ascending, all > 0.
+            Standby (spindle stopped) is implicit and not listed here.
+        avg_seek_s: average seek time over uniformly random request pairs.
+        min_seek_s: single-track seek time.
+        max_transfer_bps: sustained media transfer rate at full speed.
+        electronics_watts: RPM-independent power floor while spinning.
+        spindle_watts_full: spindle power at the highest RPM level
+            (idle power at full speed = electronics + spindle_full).
+        spindle_exponent: exponent of the spindle power law (2.8).
+        seek_watts: extra power drawn while seeking/transferring.
+        standby_watts: power with the spindle stopped.
+        spinup_s / spinup_joules: standby -> full-speed transition.
+        spindown_s / spindown_joules: full-speed -> standby transition.
+        speed_change_s_full / speed_change_joules_full: time/energy of a
+            speed change across the full RPM range; a change over a
+            fraction f of the range costs f times these (linear model).
+    """
+
+    name: str
+    capacity_bytes: int
+    rpm_levels: tuple[int, ...]
+    avg_seek_s: float
+    min_seek_s: float
+    max_transfer_bps: float
+    electronics_watts: float
+    spindle_watts_full: float
+    spindle_exponent: float
+    seek_watts: float
+    standby_watts: float
+    spinup_s: float
+    spinup_joules: float
+    spindown_s: float
+    spindown_joules: float
+    speed_change_s_full: float
+    speed_change_joules_full: float
+
+    def __post_init__(self) -> None:
+        if not self.rpm_levels:
+            raise ValueError("rpm_levels must not be empty")
+        if any(r <= 0 for r in self.rpm_levels):
+            raise ValueError(f"rpm levels must be positive: {self.rpm_levels}")
+        if list(self.rpm_levels) != sorted(set(self.rpm_levels)):
+            raise ValueError(f"rpm levels must be ascending and unique: {self.rpm_levels}")
+        if self.min_seek_s > self.avg_seek_s:
+            raise ValueError("min_seek_s cannot exceed avg_seek_s")
+
+    @property
+    def max_rpm(self) -> int:
+        return self.rpm_levels[-1]
+
+    @property
+    def min_rpm(self) -> int:
+        return self.rpm_levels[0]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.rpm_levels)
+
+    def level_of(self, rpm: int) -> int:
+        """Index of ``rpm`` within :attr:`rpm_levels` (raises if absent)."""
+        try:
+            return self.rpm_levels.index(rpm)
+        except ValueError:
+            raise ValueError(f"{rpm} rpm is not a level of {self.name}: {self.rpm_levels}") from None
+
+    # -- derived mechanical quantities ------------------------------------
+
+    def rotation_s(self, rpm: int) -> float:
+        """Time of one full platter rotation at ``rpm``."""
+        if rpm <= 0:
+            raise ValueError(f"rpm must be positive, got {rpm}")
+        return 60.0 / rpm
+
+    def transfer_bps(self, rpm: int) -> float:
+        """Sustained transfer rate at ``rpm`` (linear in RPM)."""
+        return self.max_transfer_bps * (rpm / self.max_rpm)
+
+    # -- derived power quantities ------------------------------------------
+
+    def idle_watts(self, rpm: int) -> float:
+        """Power while spinning at ``rpm`` with no I/O in service."""
+        if rpm == 0:
+            return self.standby_watts
+        frac = rpm / self.max_rpm
+        return self.electronics_watts + self.spindle_watts_full * frac**self.spindle_exponent
+
+    def active_watts(self, rpm: int) -> float:
+        """Power while seeking or transferring at ``rpm``."""
+        if rpm == 0:
+            raise ValueError("cannot be active at 0 rpm")
+        return self.idle_watts(rpm) + self.seek_watts
+
+    def transition_cost(self, from_rpm: int, to_rpm: int) -> tuple[float, float]:
+        """(seconds, joules) to move the spindle between two speeds.
+
+        ``0`` denotes standby on either side. Full spin-up/spin-down use
+        the data-sheet figures; changes between spinning levels scale
+        linearly with the RPM distance covered.
+        """
+        if from_rpm == to_rpm:
+            return (0.0, 0.0)
+        if from_rpm == 0:
+            frac = to_rpm / self.max_rpm
+            return (self.spinup_s * frac, self.spinup_joules * frac)
+        if to_rpm == 0:
+            frac = from_rpm / self.max_rpm
+            return (self.spindown_s * frac, self.spindown_joules * frac)
+        frac = abs(to_rpm - from_rpm) / self.max_rpm
+        return (self.speed_change_s_full * frac, self.speed_change_joules_full * frac)
+
+    def with_levels(self, rpm_levels: tuple[int, ...]) -> "DiskSpec":
+        """Copy of this spec with a different set of speed levels."""
+        return replace(self, rpm_levels=tuple(sorted(rpm_levels)))
+
+
+def ultrastar_36z15(num_levels: int = 5) -> DiskSpec:
+    """The paper's reference disk: IBM Ultrastar 36Z15, multi-speed.
+
+    Data-sheet constants (36.7 GB, 15000 RPM, 3.4 ms average seek,
+    55 MB/s, 10.2 W idle / 13.5 W active / 2.5 W standby, 10.9 s / 135 J
+    spin-up) extended with ``num_levels`` evenly spaced speed levels from
+    ``15000 / num_levels`` up to 15000 RPM. ``num_levels=5`` gives the
+    default {3000, 6000, 9000, 12000, 15000} configuration; experiment F7
+    sweeps this parameter.
+    """
+    return make_multispeed_spec(num_levels=num_levels)
+
+
+def make_multispeed_spec(
+    num_levels: int = 5,
+    max_rpm: int = 15_000,
+    name: str | None = None,
+) -> DiskSpec:
+    """Build an Ultrastar-36Z15-derived spec with ``num_levels`` speeds.
+
+    Levels are evenly spaced: ``max_rpm * k / num_levels`` for
+    ``k = 1..num_levels``. ``num_levels=1`` yields a conventional
+    single-speed disk (the Base/TPM hardware).
+    """
+    if num_levels < 1:
+        raise ValueError(f"num_levels must be >= 1, got {num_levels}")
+    if max_rpm <= 0 or max_rpm % num_levels:
+        raise ValueError(f"max_rpm {max_rpm} must be a positive multiple of num_levels {num_levels}")
+    step = max_rpm // num_levels
+    levels = tuple(step * k for k in range(1, num_levels + 1))
+    if name is None:
+        name = f"ultrastar-36z15-ms{num_levels}"
+    return DiskSpec(
+        name=name,
+        capacity_bytes=36 * GIB,
+        rpm_levels=levels,
+        avg_seek_s=3.4e-3,
+        min_seek_s=0.6e-3,
+        max_transfer_bps=55 * 1e6,
+        electronics_watts=2.5,
+        spindle_watts_full=7.7,
+        spindle_exponent=2.8,
+        seek_watts=3.3,
+        standby_watts=2.5,
+        spinup_s=10.9,
+        spinup_joules=135.0,
+        spindown_s=1.5,
+        spindown_joules=13.0,
+        # DRPM-style speed changes between spinning levels are far
+        # cheaper than a cold spin-up: ~2 s across the full RPM range.
+        speed_change_s_full=2.0,
+        speed_change_joules_full=20.0,
+    )

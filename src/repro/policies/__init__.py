@@ -1,0 +1,47 @@
+"""Power-management policies.
+
+The paper compares Hibernator against the standard alternatives of its
+era; each is reimplemented here from its published algorithm against the
+same simulator API:
+
+* :mod:`repro.policies.always_on` -- **Base**: every disk at full speed,
+  no power management (the energy and performance reference point).
+* :mod:`repro.policies.tpm` -- **TPM**: traditional threshold-based
+  power management; spin a disk down after a fixed idle period, spin it
+  back up on the next request.
+* :mod:`repro.policies.drpm` -- **DRPM**: per-disk fine-grained dynamic
+  RPM control driven by queue feedback (Gurumurthi et al.).
+* :mod:`repro.policies.pdc` -- **PDC**: popular data concentration;
+  periodically migrate the hottest data to the first disks and let the
+  rest idle into standby.
+* :mod:`repro.policies.maid` -- **MAID**: a few always-on cache disks
+  absorb hot traffic; the remaining disks spin down when idle.
+* :mod:`repro.policies.oracle` -- **Oracle**: offline lower bound with
+  perfect future knowledge and free migration (not in the paper's
+  comparison set; used as the reference curve above Hibernator).
+
+Hibernator itself lives in :mod:`repro.core` (it is the paper's
+contribution, not a baseline).
+"""
+
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.policies.base import PowerPolicy
+from repro.policies.drpm import DrpmConfig, DrpmPolicy
+from repro.policies.maid import MaidConfig, MaidPolicy
+from repro.policies.oracle import OraclePolicy
+from repro.policies.pdc import PdcConfig, PdcPolicy
+from repro.policies.tpm import TpmConfig, TpmPolicy
+
+__all__ = [
+    "PowerPolicy",
+    "AlwaysOnPolicy",
+    "TpmConfig",
+    "TpmPolicy",
+    "DrpmConfig",
+    "DrpmPolicy",
+    "PdcConfig",
+    "PdcPolicy",
+    "MaidConfig",
+    "MaidPolicy",
+    "OraclePolicy",
+]

@@ -1,0 +1,26 @@
+"""Base: every disk at full speed, no power management.
+
+This is the paper's reference point: it defines 100% energy and the best
+achievable response time. Every scheme's savings are reported relative
+to this policy, and the response-time goal is defined as a multiple of
+this policy's average response time.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.policies.base import PowerPolicy
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.runner import ArraySimulation
+
+
+class AlwaysOnPolicy(PowerPolicy):
+    """Keep all disks spinning at full speed for the whole run."""
+
+    name = "Base"
+
+    def attach(self, sim: "ArraySimulation") -> None:
+        super().attach(sim)
+        sim.array.set_all_speeds(sim.array.config.spec.max_rpm)

@@ -1,0 +1,58 @@
+"""Power-management policy interface.
+
+A policy observes the request stream and controls the array: disk
+speeds, spin-downs and data placement (migration). The runner calls the
+hooks below; everything else a policy does (periodic ticks, idle timers)
+it schedules itself on ``sim.engine``.
+
+Policies must be stateless across runs: ``attach`` receives the
+simulation and is the place to initialize per-run state, so one policy
+instance can be reused for several runs.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing
+
+from repro.sim.request import Request
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.runner import ArraySimulation
+
+
+class PowerPolicy(abc.ABC):
+    """Base class for array power-management policies."""
+
+    #: Human-readable name used in result tables.
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self.sim: "ArraySimulation | None" = None
+
+    @abc.abstractmethod
+    def attach(self, sim: "ArraySimulation") -> None:
+        """Bind to a simulation run; initialize all per-run state here.
+
+        Implementations must call ``super().attach(sim)`` equivalent
+        behaviour by storing ``sim`` (the base class does it when called
+        via ``PowerPolicy.attach(self, sim)``).
+        """
+        self.sim = sim
+
+    def on_request_arrival(self, request: Request) -> None:
+        """Called just before a foreground request is submitted."""
+
+    def on_request_complete(self, request: Request) -> None:
+        """Called when a foreground request finishes."""
+
+    def on_finish(self, now: float) -> None:
+        """Called once after the trace has drained."""
+
+    def describe(self) -> str:
+        """One-line parameterization string for reports."""
+        return self.name
+
+    def extras(self) -> dict[str, float]:
+        """Policy-specific scalar metrics merged into the run result."""
+        return {}

@@ -1,0 +1,181 @@
+"""MAID: Massive Array of Idle Disks (Colarelli & Grunwald, SC'02).
+
+A few *cache disks* stay at full speed and absorb the hot traffic; the
+*passive disks* that hold the primary copies spin down on an idle
+threshold. Reads that hit the cache never wake a passive disk; misses go
+to the passive disk and the block is copied into the cache (LRU).
+Writes go to the cache (write-back); dirty blocks are destaged to their
+home disk on eviction.
+
+MAID was designed for near-line archival access patterns. Under
+data-center load the cache disks saturate and the passive disks never
+sleep long enough to pay for their spin-ups — the behaviour the paper's
+comparison exposes.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.policies.base import PowerPolicy
+from repro.policies.tpm import IdleSpindownManager, breakeven_seconds
+from repro.sim.request import IoKind, Request
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.runner import ArraySimulation
+
+
+@dataclass
+class MaidConfig:
+    """MAID knobs.
+
+    Attributes:
+        num_cache_disks: disks dedicated to the always-on cache.
+        spindown_threshold_s: idle timeout for passive disks; None = the
+            disk spec's break-even time.
+        cache_reads: insert read-miss extents into the cache.
+    """
+
+    num_cache_disks: int = 2
+    spindown_threshold_s: float | None = None
+    cache_reads: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_cache_disks < 1:
+            raise ValueError("MAID needs at least one cache disk")
+
+
+class MaidPolicy(PowerPolicy):
+    """Cache-disk front + spin-down passive disks.
+
+    Requires the array to be built with
+    ``initial_disks=tuple(range(num_cache_disks, num_disks))`` so the
+    cache disks start data-free; :func:`maid_array_config` does this.
+    """
+
+    name = "MAID"
+
+    def __init__(self, config: MaidConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or MaidConfig()
+        self._cache: "OrderedDict[int, tuple[int, int, bool]]" = OrderedDict()
+        self._free_cache_slots: list[tuple[int, int]] = []
+        self._manager: IdleSpindownManager | None = None
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.destages = 0
+
+    def attach(self, sim: "ArraySimulation") -> None:
+        super().attach(sim)
+        array = sim.array
+        spec = array.config.spec
+        c = self.config.num_cache_disks
+        if c >= array.num_disks:
+            raise ValueError(
+                f"{c} cache disks leaves no passive disks in a {array.num_disks}-disk array"
+            )
+        occupied = array.extent_map.occupancy()
+        for disk in range(c):
+            if occupied[disk]:
+                raise ValueError(
+                    "cache disks must start data-free; build the array with "
+                    "initial_disks excluding them (see maid_array_config)"
+                )
+        array.set_all_speeds(spec.max_rpm)
+        self._cache = OrderedDict()
+        self._free_cache_slots = [
+            (disk, slot)
+            for disk in range(c)
+            for slot in range(array.config.slots_per_disk)
+        ]
+        self._free_cache_slots.reverse()  # pop() yields (0, 0) first
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.destages = 0
+        threshold = self.config.spindown_threshold_s
+        if threshold is None:
+            threshold = breakeven_seconds(spec)
+        self._manager = IdleSpindownManager(sim.engine, threshold)
+        for disk in array.disks[c:]:
+            self._manager.manage(disk)
+        array.redirect = self._redirect
+
+    # -- cache logic -----------------------------------------------------------
+
+    def _redirect(self, request: Request) -> tuple[int, int] | None:
+        entry = self._cache.get(request.extent)
+        if entry is not None:
+            disk, slot, dirty = entry
+            self._cache.move_to_end(request.extent)
+            if request.kind is IoKind.WRITE and not dirty:
+                self._cache[request.extent] = (disk, slot, True)
+            self.cache_hits += 1
+            return (disk, slot)
+        self.cache_misses += 1
+        if request.kind is IoKind.WRITE:
+            # Write-back: allocate a cache slot and absorb the write there;
+            # the home copy goes stale until destage.
+            placement = self._insert(request.extent, dirty=True)
+            if placement is not None:
+                return placement
+            return None
+        if self.config.cache_reads:
+            # Read miss: serve from home, then copy into the cache in the
+            # background so the next access hits.
+            placement = self._insert(request.extent, dirty=False)
+            if placement is not None:
+                disk, slot = placement
+                sim = self.sim
+                assert sim is not None
+                sim.array.submit_background_op(disk, slot, IoKind.WRITE, request.size)
+        return None
+
+    def _insert(self, extent: int, dirty: bool) -> tuple[int, int] | None:
+        if not self._free_cache_slots:
+            self._evict_one()
+        if not self._free_cache_slots:
+            return None
+        disk, slot = self._free_cache_slots.pop()
+        self._cache[extent] = (disk, slot, dirty)
+        return (disk, slot)
+
+    def _evict_one(self) -> None:
+        if not self._cache:
+            return
+        extent, (disk, slot, dirty) = self._cache.popitem(last=False)
+        self._free_cache_slots.append((disk, slot))
+        if dirty:
+            sim = self.sim
+            assert sim is not None
+            array = sim.array
+            home_disk = array.extent_map.disk_of(extent)
+            home_slot = array.extent_map.slot_of(extent)
+            array.submit_background_op(
+                home_disk, home_slot, IoKind.WRITE, array.config.extent_bytes
+            )
+            self.destages += 1
+
+    def describe(self) -> str:
+        return f"MAID(cache_disks={self.config.num_cache_disks})"
+
+    def extras(self) -> dict[str, float]:
+        total = self.cache_hits + self.cache_misses
+        return {
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "cache_hit_rate": self.cache_hits / total if total else 0.0,
+            "destages": float(self.destages),
+        }
+
+
+def maid_array_config(base: "typing.Any", num_cache_disks: int) -> "typing.Any":
+    """Copy an :class:`repro.disks.array.ArrayConfig` with initial data
+    placement restricted to the passive disks."""
+    import dataclasses
+
+    return dataclasses.replace(
+        base,
+        initial_disks=tuple(range(num_cache_disks, base.num_disks)),
+    )

@@ -1,0 +1,131 @@
+"""Oracle: the offline energy lower bound.
+
+An idealized scheme no online system can beat, used as the reference
+curve above Hibernator in sensitivity plots:
+
+* it knows the **future** — each epoch is configured from the *actual*
+  per-extent request rates of the upcoming epoch, not a prediction from
+  the past;
+* reconfiguration is **free** — data moves to its target tier by map
+  rewrite (no migration I/O) and the optimizer's choice is applied with
+  the same spindle transitions as any real scheme, but without
+  migration traffic competing for the disks.
+
+The gap between Hibernator and the oracle measures what better
+prediction and cheaper migration could still buy; the gap between the
+oracle and Base is the total opportunity in the workload.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.core.layout import identity_layout
+from repro.core.response_model import MG1ResponseModel
+from repro.core.speed_setting import SpeedSettingConfig, solve_speed_assignment
+from repro.policies.base import PowerPolicy
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.runner import ArraySimulation
+
+
+class OraclePolicy(PowerPolicy):
+    """Perfect-knowledge, free-migration epoch controller.
+
+    Args:
+        epoch_seconds: reconfiguration period (match the Hibernator run
+            being compared against).
+        speed_setting: CR optimizer knobs; the optimizer itself is the
+            same as Hibernator's — only its inputs are clairvoyant.
+    """
+
+    name = "Oracle"
+
+    def __init__(
+        self,
+        epoch_seconds: float = 3600.0,
+        speed_setting: SpeedSettingConfig | None = None,
+    ) -> None:
+        super().__init__()
+        if epoch_seconds <= 0:
+            raise ValueError("epoch_seconds must be positive")
+        self.epoch_seconds = epoch_seconds
+        self.speed_setting = speed_setting or SpeedSettingConfig(change_penalty_joules=0.0)
+        self._epoch_rates: list[np.ndarray] = []
+        self._mean_size = 4096.0
+        self._boundaries: tuple[int, ...] | None = None
+
+    def attach(self, sim: "ArraySimulation") -> None:
+        super().attach(sim)
+        self._epoch_rates = self._scan_trace(sim)
+        self._mean_size = float(sim.trace.sizes.mean()) if len(sim.trace) else 4096.0
+        self._boundaries = None
+        self._apply_epoch(0)
+        if len(self._epoch_rates) > 1:
+            sim.engine.schedule(self.epoch_seconds, self._boundary, 1)
+
+    def _scan_trace(self, sim: "ArraySimulation") -> list[np.ndarray]:
+        """Exact per-extent request rates for every upcoming epoch."""
+        trace = sim.trace
+        num_extents = sim.array.num_extents
+        duration = max(trace.duration, self.epoch_seconds)
+        epochs = int(np.ceil(duration / self.epoch_seconds))
+        rates: list[np.ndarray] = []
+        for k in range(epochs):
+            lo = k * self.epoch_seconds
+            hi = lo + self.epoch_seconds
+            i0 = int(np.searchsorted(trace.times, lo, side="left"))
+            i1 = int(np.searchsorted(trace.times, hi, side="left"))
+            counts = np.bincount(trace.extents[i0:i1], minlength=num_extents)
+            rates.append(counts.astype(np.float64) / self.epoch_seconds)
+        return rates
+
+    def _boundary(self, index: int) -> None:
+        sim = self.sim
+        assert sim is not None
+        self._apply_epoch(index)
+        if index + 1 < len(self._epoch_rates):
+            sim.engine.schedule_after(self.epoch_seconds, self._boundary, index + 1)
+
+    def _apply_epoch(self, index: int) -> None:
+        sim = self.sim
+        assert sim is not None
+        array = sim.array
+        rates = self._epoch_rates[index]
+        model = MG1ResponseModel(array.disks[0].mechanics, mean_request_bytes=self._mean_size)
+        assignment = solve_speed_assignment(
+            heat=rates,
+            num_disks=array.num_disks,
+            model=model,
+            spec=array.config.spec,
+            epoch_seconds=self.epoch_seconds,
+            goal_s=sim.goal_s,
+            prev_boundaries=self._boundaries,
+            config=self.speed_setting,
+        )
+        self._boundaries = assignment.boundaries
+        layout = identity_layout(assignment)
+        for disk in array.disks:
+            if index == 0:
+                disk.force_speed(layout.rpm_of_disk(disk.index))
+            else:
+                disk.set_speed(layout.rpm_of_disk(disk.index))
+        # Free migration: rewrite the map, no I/O.
+        target = layout.target_tiers(np.argsort(-rates, kind="stable"))
+        emap = array.extent_map
+        for extent in np.argsort(-rates, kind="stable"):
+            extent = int(extent)
+            tier = int(target[extent])
+            if layout.tier_of_disk(emap.disk_of(extent)) == tier:
+                continue
+            candidates = layout.disks_in_tier(tier)
+            if not candidates:
+                continue
+            best = min(candidates, key=lambda d: len(emap.extents_on(d)))
+            if emap.free_slots(best) > 0:
+                emap.move(extent, best)
+
+    def describe(self) -> str:
+        return f"Oracle(epoch={self.epoch_seconds:g}s, free migration)"

@@ -1,0 +1,165 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: events are ``(time, sequence, callback)``
+triples kept in a binary heap. The sequence number breaks ties so that
+events scheduled earlier run earlier at equal timestamps, which makes
+every simulation fully deterministic.
+
+Events can be cancelled in O(1) by invalidating their handle; cancelled
+entries are dropped lazily when they surface at the top of the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently (e.g. scheduling in
+    the past)."""
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event.
+
+    Attributes:
+        time: simulated time at which the event fires.
+        cancelled: True once :meth:`cancel` has been called.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+        # Drop references so cancelled events do not pin large objects
+        # while they wait to be popped from the heap.
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    """Placeholder callback installed by :meth:`EventHandle.cancel`."""
+
+
+class Engine:
+    """Binary-heap discrete-event scheduler.
+
+    Typical use::
+
+        engine = Engine()
+        engine.schedule(1.5, my_callback, arg1, arg2)
+        engine.run()
+
+    Callbacks receive their scheduled arguments and may schedule further
+    events. Time never goes backwards; scheduling an event before
+    ``engine.now`` raises :class:`SimulationError`.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (not cancelled) events still queued."""
+        return sum(1 for handle in self._heap if not handle.cancelled)
+
+    def schedule(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire at absolute ``time``.
+
+        Returns a handle that can be cancelled with
+        :meth:`EventHandle.cancel`.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time:.6f} before now={self._now:.6f}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_after(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule(self._now + delay, callback, *args)
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> int:
+        """Process events in time order.
+
+        Args:
+            until: stop once the next event would fire after this time
+                (the clock is advanced to ``until`` when given).
+            max_events: safety valve; stop after this many callbacks.
+            stop: optional predicate checked after every callback; the
+                loop exits as soon as it returns True (used to end a run
+                when the workload drains even though periodic timers are
+                still queued).
+
+        Returns:
+            The number of callbacks executed.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = head.time
+                head.callback(*head.args)
+                executed += 1
+                if stop is not None and stop():
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,229 @@
+"""Simulation orchestration: trace x array x policy -> metrics.
+
+:class:`ArraySimulation` replays a trace against a :class:`DiskArray`
+under a power-management policy and produces a :class:`SimulationResult`
+with everything the experiments report: energy (total and by category),
+response-time statistics (foreground traffic only), migration overhead,
+spin-up/speed-change counts and optional time series.
+
+Arrivals are scheduled lazily (each arrival schedules the next) so the
+event heap stays small regardless of trace length.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+from repro.disks.array import ArrayConfig, DiskArray
+from repro.disks.power import PowerBreakdown
+from repro.sim.engine import Engine
+from repro.sim.request import Request
+from repro.sim.stats import DeficitTracker, LatencyRecorder, WindowAverage
+from repro.traces.model import Trace
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.policies.base import PowerPolicy
+
+
+@dataclass
+class SimulationResult:
+    """Everything one run reports.
+
+    Energy figures cover the whole run (trace duration plus drain);
+    latency statistics cover foreground requests only — migration I/O is
+    charged to energy and disk time but not to response time, matching
+    the paper's accounting.
+    """
+
+    trace_name: str
+    policy_name: str
+    policy_params: str
+    num_requests: int
+    sim_end: float
+    energy_joules: float
+    breakdown: PowerBreakdown
+    mean_response_s: float
+    p95_response_s: float
+    p99_response_s: float
+    max_response_s: float
+    goal_s: float | None
+    cumulative_avg_vs_goal: float | None
+    failed_requests: int
+    migration_extents: int
+    migration_bytes: int
+    spinups: int
+    speed_changes: int
+    latency_windows: list[tuple[float, float, int]] = field(default_factory=list)
+    speed_samples: list[tuple[float, float, int]] = field(default_factory=list)
+    power_samples: list[tuple[float, float]] = field(default_factory=list)
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_power_watts(self) -> float:
+        if self.sim_end <= 0:
+            return 0.0
+        return self.energy_joules / self.sim_end
+
+    @property
+    def meets_goal(self) -> bool:
+        """True when the run's mean response time is within the goal."""
+        if self.goal_s is None:
+            return True
+        return self.mean_response_s <= self.goal_s
+
+    def energy_savings_vs(self, baseline: "SimulationResult") -> float:
+        """Fractional energy savings relative to ``baseline`` (1 - E/E0)."""
+        if baseline.energy_joules <= 0:
+            return 0.0
+        return 1.0 - self.energy_joules / baseline.energy_joules
+
+
+class ArraySimulation:
+    """One trace replay against one array under one policy.
+
+    Args:
+        trace: workload to replay.
+        array_config: array shape/hardware.
+        policy: power-management policy instance.
+        goal_s: optional response-time goal, recorded into the result
+            (and visible to goal-aware policies via :attr:`goal_s`).
+        window_s: width of the time-series windows; None disables
+            time-series collection.
+        keep_latency_samples: retain per-request latencies for exact
+            percentiles (disable for very long runs).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        array_config: ArrayConfig,
+        policy: "PowerPolicy",
+        goal_s: float | None = None,
+        window_s: float | None = None,
+        keep_latency_samples: bool = True,
+    ) -> None:
+        self.trace = trace
+        self.engine = Engine()
+        self.array = DiskArray(self.engine, array_config)
+        self.policy = policy
+        self.goal_s = goal_s
+        self.latency = LatencyRecorder(keep_samples=keep_latency_samples)
+        self.deficit = DeficitTracker(goal_s) if goal_s is not None else None
+        self._window_s = window_s
+        self._latency_windows = WindowAverage(window_s) if window_s else None
+        self._speed_samples: list[tuple[float, float, int]] = []
+        self._power_samples: list[tuple[float, float]] = []
+        self._next_index = 0
+        self._outstanding = 0
+        self._ran = False
+        self.failed_requests = 0
+
+    # -- arrival plumbing ----------------------------------------------------
+
+    def _schedule_next_arrival(self) -> None:
+        if self._next_index >= len(self.trace):
+            return
+        t = float(self.trace.times[self._next_index])
+        self.engine.schedule(t, self._arrive)
+
+    def _arrive(self) -> None:
+        i = self._next_index
+        self._next_index += 1
+        tr = self.trace[i]
+        request = Request(
+            req_id=i,
+            arrival=self.engine.now,
+            kind=tr.kind,
+            extent=tr.extent,
+            offset=tr.offset,
+            size=tr.size,
+        )
+        self._outstanding += 1
+        self.policy.on_request_arrival(request)
+        self.array.submit(request, self._complete)
+        self._schedule_next_arrival()
+
+    def _complete(self, request: Request) -> None:
+        self._outstanding -= 1
+        if request.failed:
+            self.failed_requests += 1
+            return
+        latency = request.latency
+        self.latency.add(latency)
+        if self.deficit is not None:
+            self.deficit.add(latency)
+        if self._latency_windows is not None:
+            self._latency_windows.add(self.engine.now, latency)
+        self.policy.on_request_complete(request)
+
+    def _sample_speeds(self) -> None:
+        speeds = self.array.speeds()
+        mean_rpm = sum(speeds) / len(speeds)
+        spinning = sum(1 for s in speeds if s > 0)
+        self._speed_samples.append((self.engine.now, mean_rpm, spinning))
+        watts = sum(d.meter.watts for d in self.array.disks)
+        self._power_samples.append((self.engine.now, watts))
+        if self._next_index < len(self.trace) or self._outstanding > 0:
+            assert self._window_s is not None
+            self.engine.schedule_after(self._window_s, self._sample_speeds)
+
+    def _drained(self) -> bool:
+        return self._next_index >= len(self.trace) and self._outstanding == 0
+
+    # -- main entry -----------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Replay the trace to completion and return the metrics."""
+        if self._ran:
+            raise RuntimeError("ArraySimulation.run() is single-shot; build a new one")
+        self._ran = True
+        self.policy.attach(self)
+        self._schedule_next_arrival()
+        if self._window_s is not None:
+            self.engine.schedule(0.0, self._sample_speeds)
+        # Stop as soon as every foreground request has completed:
+        # lingering periodic timers (epoch boundaries, idle timers,
+        # samplers) must not stretch the energy-accounting window.
+        self.engine.run(stop=self._drained)
+        end = max(self.engine.now, self.trace.duration)
+        self.policy.on_finish(end)
+        energy = 0.0
+        breakdown = PowerBreakdown()
+        spinups = 0
+        speed_changes = 0
+        for disk in self.array.disks:
+            energy += disk.finish_accounting(end)
+            breakdown.merge(disk.meter.breakdown)
+            spinups += disk.spinups
+            speed_changes += disk.speed_changes
+        windows = self._latency_windows.finish(end) if self._latency_windows else []
+        has_latency = self.latency.n > 0
+        return SimulationResult(
+            trace_name=self.trace.name,
+            policy_name=self.policy.name,
+            policy_params=self.policy.describe(),
+            num_requests=self.latency.n,
+            sim_end=end,
+            energy_joules=energy,
+            breakdown=breakdown,
+            mean_response_s=self.latency.mean if has_latency else 0.0,
+            p95_response_s=self.latency.percentile(95) if has_latency and self.latency.keep_samples else 0.0,
+            p99_response_s=self.latency.percentile(99) if has_latency and self.latency.keep_samples else 0.0,
+            max_response_s=self.latency.stats.max if has_latency else 0.0,
+            goal_s=self.goal_s,
+            cumulative_avg_vs_goal=(
+                self.deficit.cumulative_average - self.goal_s
+                if self.deficit is not None and self.goal_s is not None
+                else None
+            ),
+            failed_requests=self.failed_requests,
+            migration_extents=self.array.migration_extents_moved,
+            migration_bytes=self.array.migration_bytes,
+            spinups=spinups,
+            speed_changes=speed_changes,
+            latency_windows=windows,
+            speed_samples=self._speed_samples,
+            power_samples=self._power_samples,
+            extras=dict(self.policy.extras()),
+        )

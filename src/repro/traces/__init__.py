@@ -1,0 +1,44 @@
+"""Workload substrate: trace containers, file I/O and generators.
+
+The paper drove its simulator with two data-center traces — an OLTP
+trace (TPC-C against a commercial DBMS) and the HP Labs Cello99 file
+server trace. Neither is redistributable, so this package provides
+generators calibrated to their published first-order characteristics
+(see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.traces.oltp` -- steady high-rate, small random I/O,
+  Zipf-skewed popularity, read-mostly.
+* :mod:`repro.traces.cello` -- diurnal file-server load with deep
+  night-time valleys, bursts and a drifting working set.
+* :mod:`repro.traces.synthetic` -- the parameterized toolkit both are
+  built from (arrival processes, popularity models, size mixes).
+"""
+
+from repro.traces.cello import CelloConfig, generate_cello
+from repro.traces.model import Trace, TraceBuilder, TraceRequest
+from repro.traces.oltp import OltpConfig, generate_oltp
+from repro.traces.synthetic import (
+    SyntheticConfig,
+    ZipfPopularity,
+    generate_synthetic,
+    modulated_poisson_arrivals,
+    poisson_arrivals,
+)
+from repro.traces.tracestats import TraceStats, compute_trace_stats
+
+__all__ = [
+    "Trace",
+    "TraceBuilder",
+    "TraceRequest",
+    "OltpConfig",
+    "generate_oltp",
+    "CelloConfig",
+    "generate_cello",
+    "SyntheticConfig",
+    "ZipfPopularity",
+    "generate_synthetic",
+    "poisson_arrivals",
+    "modulated_poisson_arrivals",
+    "TraceStats",
+    "compute_trace_stats",
+]

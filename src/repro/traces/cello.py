@@ -1,0 +1,143 @@
+"""Cello99-style file-server workload generator.
+
+Stands in for the HP Labs Cello99 trace. The properties that drive the
+paper's file-server results, reproduced here:
+
+* **strong diurnal rhythm** — daytime load an order of magnitude above
+  the overnight valley; the valley is where most energy is saved;
+* **burstiness** — daytime traffic arrives in on/off bursts, not as a
+  smooth Poisson stream;
+* **mixed request sizes** with some large sequential transfers;
+* **working-set drift** — the hot set moves from day to day, which is
+  what makes migration (and its cost) matter.
+
+Implemented as a nonhomogeneous Poisson process (sinusoidal day/night
+envelope times a burst square-wave) generated day by day, with the Zipf
+rank->extent mapping rotated between days to model drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traces.model import Trace, trace_from_columns
+from repro.traces.synthetic import SizeMix, ZipfPopularity, modulated_poisson_arrivals
+
+DAY = 24 * 3600.0
+
+
+@dataclass
+class CelloConfig:
+    """Knobs for the file-server generator."""
+
+    days: float = 1.0
+    day_rate: float = 250.0
+    night_rate: float = 15.0
+    peak_hour: float = 14.0
+    burst_fraction: float = 0.4
+    burst_intensity: float = 3.0
+    burst_period: float = 600.0
+    num_extents: int = 2400
+    zipf_theta: float = 1.1
+    drift_per_day: float = 0.05
+    read_fraction: float = 0.55
+    day_length_s: float = DAY
+    size_mix: SizeMix = field(
+        default_factory=lambda: SizeMix(
+            sizes=(4096, 8192, 16384, 65536), weights=(0.45, 0.25, 0.2, 0.1)
+        )
+    )
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.night_rate < 0 or self.day_rate < self.night_rate:
+            raise ValueError("need 0 <= night_rate <= day_rate")
+        if not 0.0 <= self.burst_fraction <= 1.0:
+            raise ValueError("burst_fraction must be in [0, 1]")
+        if self.burst_intensity < 1.0:
+            raise ValueError("burst_intensity must be >= 1")
+        if self.day_length_s <= 0:
+            raise ValueError("day_length_s must be positive")
+
+
+def diurnal_envelope(config: CelloConfig) -> "np.ufunc":
+    """Vectorized base rate: sinusoid peaking at ``peak_hour``.
+
+    ``peak_hour`` is expressed in 24ths of the (possibly compressed)
+    day, so a compressed day keeps the same diurnal shape.
+    """
+    mean = (config.day_rate + config.night_rate) / 2.0
+    amplitude = (config.day_rate - config.night_rate) / 2.0
+    peak_s = config.peak_hour / 24.0 * config.day_length_s
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        phase = 2.0 * np.pi * (np.asarray(t) - peak_s) / config.day_length_s
+        return mean + amplitude * np.cos(phase)
+
+    return rate
+
+
+def _burst_wave(config: CelloConfig) -> "np.ufunc":
+    """Square-wave multiplier: ``burst_intensity`` during the on-phase of
+    each ``burst_period``, compensating during the off-phase so the mean
+    multiplier is 1."""
+    on = config.burst_fraction
+    if on == 0.0 or config.burst_intensity == 1.0:
+        return lambda t: np.ones_like(np.asarray(t, dtype=np.float64))
+    hi = config.burst_intensity
+    lo = max(0.0, (1.0 - on * hi) / (1.0 - on)) if on < 1.0 else hi
+
+    def wave(t: np.ndarray) -> np.ndarray:
+        phase = np.mod(np.asarray(t), config.burst_period) / config.burst_period
+        return np.where(phase < on, hi, lo)
+
+    return wave
+
+
+def generate_cello(config: CelloConfig | None = None) -> Trace:
+    """Generate the Cello99-style trace."""
+    if config is None:
+        config = CelloConfig()
+    rng = np.random.default_rng(config.seed)
+    envelope = diurnal_envelope(config)
+    wave = _burst_wave(config)
+    peak = config.day_rate * max(config.burst_intensity, 1.0)
+
+    def rate_fn(t: np.ndarray) -> np.ndarray:
+        return np.clip(envelope(t) * wave(t), 0.0, peak)
+
+    popularity = ZipfPopularity(config.num_extents, config.zipf_theta, rng)
+    drift_extents = int(round(config.drift_per_day * config.num_extents))
+
+    all_times: list[np.ndarray] = []
+    all_extents: list[np.ndarray] = []
+    remaining = config.days * config.day_length_s
+    day_start = 0.0
+    while remaining > 1e-9:
+        span = min(config.day_length_s, remaining)
+
+        def day_rate_fn(t: np.ndarray, base: float = day_start) -> np.ndarray:
+            return rate_fn(np.asarray(t) + base)
+
+        times = modulated_poisson_arrivals(day_rate_fn, peak, span, rng)
+        all_times.append(times + day_start)
+        all_extents.append(popularity.sample(len(times), rng))
+        popularity.rotate(drift_extents)
+        day_start += span
+        remaining -= span
+
+    times = np.concatenate(all_times) if all_times else np.empty(0)
+    extents = np.concatenate(all_extents) if all_extents else np.empty(0, dtype=np.int64)
+    n = len(times)
+    read_mask = rng.random(n) < config.read_fraction
+    sizes = config.size_mix.sample(n, rng)
+    return trace_from_columns(
+        name="cello",
+        num_extents=config.num_extents,
+        times=times,
+        read_mask=read_mask,
+        extents=extents,
+        sizes=sizes,
+    )

@@ -1,0 +1,104 @@
+"""Trace file I/O.
+
+Traces are exchanged as CSV (optionally gzip-compressed when the path
+ends in ``.gz``) with a one-line header::
+
+    # repro-trace v1 name=<name> num_extents=<n>
+    time,kind,extent,offset,size
+
+This keeps traces inspectable with standard tools while staying fast
+enough for the trace sizes the experiments use.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+from pathlib import Path
+from typing import IO
+
+import numpy as np
+
+from repro.traces.model import Trace
+
+_MAGIC = "# repro-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not match the expected format."""
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8", newline="")
+    return open(path, mode, encoding="utf-8", newline="")
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` (gzip when the name ends in .gz)."""
+    path = Path(path)
+    with _open_text(path, "w") as fh:
+        fh.write(f"{_MAGIC} name={trace.name} num_extents={trace.num_extents}\n")
+        writer = csv.writer(fh)
+        writer.writerow(["time", "kind", "extent", "offset", "size"])
+        for times, kinds, extents, offsets, sizes in zip(
+            trace.times, trace.kinds, trace.extents, trace.offsets, trace.sizes
+        ):
+            writer.writerow(
+                [
+                    f"{times:.9f}",
+                    "R" if kinds == 0 else "W",
+                    int(extents),
+                    int(offsets),
+                    int(sizes),
+                ]
+            )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with _open_text(path, "r") as fh:
+        header = fh.readline().rstrip("\n")
+        if not header.startswith(_MAGIC):
+            raise TraceFormatError(f"{path}: missing '{_MAGIC}' header")
+        meta: dict[str, str] = {}
+        for token in header[len(_MAGIC):].split():
+            if "=" not in token:
+                raise TraceFormatError(f"{path}: bad header token {token!r}")
+            key, value = token.split("=", 1)
+            meta[key] = value
+        if "num_extents" not in meta:
+            raise TraceFormatError(f"{path}: header lacks num_extents")
+        reader = csv.reader(fh)
+        columns = next(reader, None)
+        if columns != ["time", "kind", "extent", "offset", "size"]:
+            raise TraceFormatError(f"{path}: unexpected column header {columns!r}")
+        times: list[float] = []
+        kinds: list[int] = []
+        extents: list[int] = []
+        offsets: list[int] = []
+        sizes: list[int] = []
+        for lineno, row in enumerate(reader, start=3):
+            if not row:
+                continue
+            if len(row) != 5:
+                raise TraceFormatError(f"{path}:{lineno}: expected 5 fields, got {len(row)}")
+            time_s, kind, extent, offset, size = row
+            if kind not in ("R", "W"):
+                raise TraceFormatError(f"{path}:{lineno}: kind must be R or W, got {kind!r}")
+            times.append(float(time_s))
+            kinds.append(0 if kind == "R" else 1)
+            extents.append(int(extent))
+            offsets.append(int(offset))
+            sizes.append(int(size))
+    return Trace(
+        name=meta.get("name", path.stem),
+        num_extents=int(meta["num_extents"]),
+        times=np.asarray(times, dtype=np.float64),
+        kinds=np.asarray(kinds, dtype=np.int8),
+        extents=np.asarray(extents, dtype=np.int64),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        sizes=np.asarray(sizes, dtype=np.int64),
+    )

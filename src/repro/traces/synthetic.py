@@ -1,0 +1,232 @@
+"""Parameterized synthetic workload toolkit.
+
+The OLTP and Cello generators are thin configurations of the pieces
+here: arrival processes (homogeneous and modulated Poisson), a Zipf
+popularity model with address-space scattering, and request-size mixes.
+Everything takes an explicit :class:`numpy.random.Generator` so runs are
+reproducible bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.traces.model import Trace, trace_from_columns
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+
+def poisson_arrivals(rate: float, duration: float, rng: np.random.Generator) -> np.ndarray:
+    """Homogeneous Poisson arrival times on [0, duration)."""
+    if rate < 0:
+        raise ValueError(f"rate must be non-negative, got {rate!r}")
+    if duration < 0:
+        raise ValueError(f"duration must be non-negative, got {duration!r}")
+    if rate == 0.0 or duration == 0.0:
+        return np.empty(0, dtype=np.float64)
+    # Draw in chunks: expected count + slack, extend if unlucky.
+    times: list[np.ndarray] = []
+    t = 0.0
+    expected = rate * duration
+    chunk = max(int(expected * 1.2) + 16, 64)
+    while t < duration:
+        gaps = rng.exponential(1.0 / rate, size=chunk)
+        arrivals = t + np.cumsum(gaps)
+        times.append(arrivals)
+        t = float(arrivals[-1])
+    all_times = np.concatenate(times)
+    return all_times[all_times < duration]
+
+
+def modulated_poisson_arrivals(
+    rate_fn: Callable[[np.ndarray], np.ndarray],
+    peak_rate: float,
+    duration: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Nonhomogeneous Poisson arrivals by thinning.
+
+    Args:
+        rate_fn: vectorized instantaneous rate, must satisfy
+            ``0 <= rate_fn(t) <= peak_rate`` on [0, duration).
+        peak_rate: majorizing constant rate used for the candidate
+            process.
+    """
+    if peak_rate <= 0:
+        raise ValueError(f"peak_rate must be positive, got {peak_rate!r}")
+    candidates = poisson_arrivals(peak_rate, duration, rng)
+    if len(candidates) == 0:
+        return candidates
+    rates = np.asarray(rate_fn(candidates), dtype=np.float64)
+    if np.any(rates < -1e-12) or np.any(rates > peak_rate * (1 + 1e-9)):
+        raise ValueError("rate_fn escaped [0, peak_rate]")
+    keep = rng.random(len(candidates)) < rates / peak_rate
+    return candidates[keep]
+
+
+# ---------------------------------------------------------------------------
+# Popularity
+# ---------------------------------------------------------------------------
+
+class ZipfPopularity:
+    """Zipf-skewed extent popularity with scattered placement.
+
+    Rank ``r`` (1-based) has probability proportional to ``1 / r**theta``.
+    Ranks are mapped to extent ids through a random permutation so that
+    hot extents are spread across the address space (as in real volumes),
+    which is exactly the situation Hibernator's migration must fix.
+
+    ``theta = 0`` degenerates to uniform popularity.
+    """
+
+    def __init__(
+        self,
+        num_extents: int,
+        theta: float,
+        rng: np.random.Generator,
+        scatter: bool = True,
+    ) -> None:
+        if num_extents <= 0:
+            raise ValueError(f"num_extents must be positive, got {num_extents!r}")
+        if theta < 0:
+            raise ValueError(f"theta must be non-negative, got {theta!r}")
+        self.num_extents = num_extents
+        self.theta = theta
+        ranks = np.arange(1, num_extents + 1, dtype=np.float64)
+        weights = ranks**-theta
+        self.probabilities = weights / weights.sum()
+        self._cdf = np.cumsum(self.probabilities)
+        self._cdf[-1] = 1.0
+        if scatter:
+            self.rank_to_extent = rng.permutation(num_extents)
+        else:
+            self.rank_to_extent = np.arange(num_extents)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` extent ids."""
+        u = rng.random(n)
+        ranks = np.searchsorted(self._cdf, u, side="right")
+        return self.rank_to_extent[ranks]
+
+    def extent_probability(self) -> np.ndarray:
+        """Per-extent access probability (indexed by extent id)."""
+        probs = np.empty(self.num_extents, dtype=np.float64)
+        probs[self.rank_to_extent] = self.probabilities
+        return probs
+
+    def rotate(self, shift: int) -> None:
+        """Shift the rank->extent mapping, modelling working-set drift:
+        after ``rotate(k)`` the extent that held rank ``r`` now holds
+        rank ``r + k`` (hot data cools, lukewarm data heats up)."""
+        self.rank_to_extent = np.roll(self.rank_to_extent, shift)
+
+
+# ---------------------------------------------------------------------------
+# Size mixes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SizeMix:
+    """Discrete request-size distribution."""
+
+    sizes: tuple[int, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.weights) or not self.sizes:
+            raise ValueError("sizes and weights must be non-empty and parallel")
+        if any(s <= 0 for s in self.sizes):
+            raise ValueError("sizes must be positive")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        probs = np.asarray(self.weights, dtype=np.float64)
+        probs = probs / probs.sum()
+        return rng.choice(np.asarray(self.sizes, dtype=np.int64), size=n, p=probs)
+
+    @property
+    def mean(self) -> float:
+        probs = np.asarray(self.weights, dtype=np.float64)
+        probs = probs / probs.sum()
+        return float(np.dot(np.asarray(self.sizes, dtype=np.float64), probs))
+
+
+# ---------------------------------------------------------------------------
+# Generic generator
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SyntheticConfig:
+    """Fully generic single-phase workload.
+
+    Attributes:
+        name: trace label.
+        duration: seconds of workload.
+        rate: mean arrival rate (requests/second).
+        num_extents: logical address space.
+        zipf_theta: popularity skew (0 = uniform).
+        read_fraction: probability a request is a read.
+        size_mix: request-size distribution.
+        seed: RNG seed.
+        rate_fn: optional vectorized modulation; when given, ``rate`` is
+            interpreted as the *peak* rate and ``rate_fn`` must stay
+            within [0, rate].
+    """
+
+    name: str = "synthetic"
+    duration: float = 3600.0
+    rate: float = 100.0
+    num_extents: int = 2400
+    zipf_theta: float = 0.9
+    read_fraction: float = 0.6
+    size_mix: SizeMix = field(default_factory=lambda: SizeMix(sizes=(4096,), weights=(1.0,)))
+    seed: int = 1
+    rate_fn: Callable[[np.ndarray], np.ndarray] | None = None
+
+
+def generate_synthetic(config: SyntheticConfig) -> Trace:
+    """Generate a trace from a :class:`SyntheticConfig`."""
+    rng = np.random.default_rng(config.seed)
+    if config.rate_fn is None:
+        times = poisson_arrivals(config.rate, config.duration, rng)
+    else:
+        times = modulated_poisson_arrivals(config.rate_fn, config.rate, config.duration, rng)
+    n = len(times)
+    popularity = ZipfPopularity(config.num_extents, config.zipf_theta, rng)
+    extents = popularity.sample(n, rng)
+    read_mask = rng.random(n) < config.read_fraction
+    sizes = config.size_mix.sample(n, rng)
+    return trace_from_columns(
+        name=config.name,
+        num_extents=config.num_extents,
+        times=times,
+        read_mask=read_mask,
+        extents=extents,
+        sizes=sizes,
+    )
+
+
+def interleave_traces(name: str, traces: Sequence[Trace]) -> Trace:
+    """Merge several traces over the same address space by time."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    num_extents = traces[0].num_extents
+    if any(t.num_extents != num_extents for t in traces):
+        raise ValueError("traces must share an address space")
+    times = np.concatenate([t.times for t in traces])
+    order = np.argsort(times, kind="stable")
+    return Trace(
+        name=name,
+        num_extents=num_extents,
+        times=times[order],
+        kinds=np.concatenate([t.kinds for t in traces])[order],
+        extents=np.concatenate([t.extents for t in traces])[order],
+        offsets=np.concatenate([t.offsets for t in traces])[order],
+        sizes=np.concatenate([t.sizes for t in traces])[order],
+    )

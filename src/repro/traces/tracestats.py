@@ -1,0 +1,110 @@
+"""Workload characterization (experiment T2's table).
+
+Computes the summary statistics the paper's workload table reports:
+request rate, read/write mix, request sizes, footprint, popularity skew
+and peak-to-mean burstiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.model import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary characteristics of one trace."""
+
+    name: str
+    duration_s: float
+    num_requests: int
+    mean_rate: float
+    read_fraction: float
+    mean_size_bytes: float
+    footprint_extents: int
+    address_space_extents: int
+    top10pct_access_share: float
+    peak_to_mean_rate: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        """(label, value) rows for the report formatter."""
+        return [
+            ("workload", self.name),
+            ("duration", f"{self.duration_s / 3600.0:.2f} h"),
+            ("requests", f"{self.num_requests}"),
+            ("mean rate", f"{self.mean_rate:.1f} req/s"),
+            ("reads", f"{100.0 * self.read_fraction:.1f} %"),
+            ("mean size", f"{self.mean_size_bytes / 1024.0:.1f} KiB"),
+            ("footprint", f"{self.footprint_extents}/{self.address_space_extents} extents"),
+            ("top-10% share", f"{100.0 * self.top10pct_access_share:.1f} %"),
+            ("peak/mean rate", f"{self.peak_to_mean_rate:.2f}"),
+        ]
+
+
+def compute_trace_stats(trace: Trace, window_s: float = 3600.0) -> TraceStats:
+    """Characterize ``trace``.
+
+    Args:
+        window_s: window width used for the peak-rate estimate.
+    """
+    n = len(trace)
+    duration = trace.duration
+    mean_rate = n / duration if duration > 0 else 0.0
+
+    if n:
+        counts = np.bincount(trace.extents, minlength=trace.num_extents)
+        footprint = int(np.count_nonzero(counts))
+        sorted_counts = np.sort(counts)[::-1]
+        top_k = max(1, trace.num_extents // 10)
+        top_share = float(sorted_counts[:top_k].sum() / n)
+        mean_size = float(trace.sizes.mean())
+    else:
+        footprint = 0
+        top_share = 0.0
+        mean_size = 0.0
+
+    peak_to_mean = _peak_to_mean(trace, window_s) if n else 0.0
+
+    return TraceStats(
+        name=trace.name,
+        duration_s=duration,
+        num_requests=n,
+        mean_rate=mean_rate,
+        read_fraction=trace.read_fraction,
+        mean_size_bytes=mean_size,
+        footprint_extents=footprint,
+        address_space_extents=trace.num_extents,
+        top10pct_access_share=top_share,
+        peak_to_mean_rate=peak_to_mean,
+    )
+
+
+def _peak_to_mean(trace: Trace, window_s: float) -> float:
+    duration = max(trace.duration, window_s)
+    edges = np.arange(0.0, duration + window_s, window_s)
+    counts, _ = np.histogram(trace.times, bins=edges)
+    window_rates = counts / window_s
+    mean = len(trace) / duration
+    if mean == 0:
+        return 0.0
+    return float(window_rates.max() / mean)
+
+
+def per_extent_rates(trace: Trace, write_weight: float = 1.0) -> np.ndarray:
+    """Mean request rate per extent (requests/second), for heat priming.
+
+    ``write_weight`` scales writes (e.g. 4.0 to prime a RAID-5 run, where
+    each logical write costs four physical ops).
+    """
+    duration = trace.duration
+    if write_weight == 1.0:
+        counts = np.bincount(trace.extents, minlength=trace.num_extents).astype(np.float64)
+    else:
+        weights = np.where(trace.kinds == 0, 1.0, write_weight)
+        counts = np.bincount(trace.extents, weights=weights, minlength=trace.num_extents)
+    if duration <= 0:
+        return counts
+    return counts / duration

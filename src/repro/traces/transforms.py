@@ -1,0 +1,127 @@
+"""Trace transformations.
+
+Utilities for composing experiment workloads out of existing traces:
+concatenate phases, shift or scale time, thin to a sampled fraction,
+remap or restrict the address space. All transforms are pure — they
+return new :class:`Trace` objects and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.model import Trace
+
+
+def shift_time(trace: Trace, offset: float, name: str | None = None) -> Trace:
+    """Shift every request by ``offset`` seconds (must stay >= 0)."""
+    if len(trace) and trace.times[0] + offset < 0:
+        raise ValueError(f"offset {offset} would move requests before t=0")
+    return Trace(
+        name=name or f"{trace.name}+{offset:g}s",
+        num_extents=trace.num_extents,
+        times=trace.times + offset,
+        kinds=trace.kinds.copy(),
+        extents=trace.extents.copy(),
+        offsets=trace.offsets.copy(),
+        sizes=trace.sizes.copy(),
+    )
+
+
+def concat(traces: list[Trace], gap_s: float = 0.0, name: str = "concat") -> Trace:
+    """Play traces back to back (each shifted after the previous one).
+
+    Args:
+        gap_s: idle time inserted between consecutive traces.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    num_extents = max(t.num_extents for t in traces)
+    columns = {"times": [], "kinds": [], "extents": [], "offsets": [], "sizes": []}
+    cursor = 0.0
+    for t in traces:
+        columns["times"].append(t.times + cursor)
+        columns["kinds"].append(t.kinds)
+        columns["extents"].append(t.extents)
+        columns["offsets"].append(t.offsets)
+        columns["sizes"].append(t.sizes)
+        cursor += t.duration + gap_s
+    return Trace(
+        name=name,
+        num_extents=num_extents,
+        times=np.concatenate(columns["times"]),
+        kinds=np.concatenate(columns["kinds"]),
+        extents=np.concatenate(columns["extents"]),
+        offsets=np.concatenate(columns["offsets"]),
+        sizes=np.concatenate(columns["sizes"]),
+    )
+
+
+def sample_fraction(trace: Trace, fraction: float, seed: int = 0) -> Trace:
+    """Keep a uniformly random ``fraction`` of requests (thinning).
+
+    Thinning a Poisson-ish arrival process by p yields the same process
+    at p times the rate, so this is the standard way to de-intensify a
+    trace without changing its structure.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+    rng = np.random.default_rng(seed)
+    keep = rng.random(len(trace)) < fraction
+    return Trace(
+        name=f"{trace.name}~{fraction:g}",
+        num_extents=trace.num_extents,
+        times=trace.times[keep],
+        kinds=trace.kinds[keep],
+        extents=trace.extents[keep],
+        offsets=trace.offsets[keep],
+        sizes=trace.sizes[keep],
+    )
+
+
+def remap_extents(
+    trace: Trace,
+    mapping: np.ndarray,
+    num_extents: int,
+    name: str | None = None,
+) -> Trace:
+    """Rewrite extent ids through ``mapping`` (old id -> new id).
+
+    Used to retarget a trace at a different volume layout or to fold a
+    large address space onto a smaller array.
+    """
+    mapping = np.asarray(mapping, dtype=np.int64)
+    if len(mapping) < trace.num_extents:
+        raise ValueError(
+            f"mapping covers {len(mapping)} extents, trace uses {trace.num_extents}"
+        )
+    new_extents = mapping[trace.extents]
+    if len(new_extents) and (new_extents.min() < 0 or new_extents.max() >= num_extents):
+        raise ValueError("mapping produced extents outside the target volume")
+    return Trace(
+        name=name or f"{trace.name}:remap",
+        num_extents=num_extents,
+        times=trace.times.copy(),
+        kinds=trace.kinds.copy(),
+        extents=new_extents,
+        offsets=trace.offsets.copy(),
+        sizes=trace.sizes.copy(),
+    )
+
+
+def filter_extents(trace: Trace, keep: np.ndarray, name: str | None = None) -> Trace:
+    """Keep only requests whose extent is flagged in the boolean ``keep``
+    mask (indexed by extent id)."""
+    keep = np.asarray(keep, dtype=bool)
+    if keep.shape != (trace.num_extents,):
+        raise ValueError(f"mask shape {keep.shape} != ({trace.num_extents},)")
+    selected = keep[trace.extents]
+    return Trace(
+        name=name or f"{trace.name}:filtered",
+        num_extents=trace.num_extents,
+        times=trace.times[selected],
+        kinds=trace.kinds[selected],
+        extents=trace.extents[selected],
+        offsets=trace.offsets[selected],
+        sizes=trace.sizes[selected],
+    )

@@ -1,0 +1,82 @@
+"""Shared fixtures: small, fast configurations for unit/integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.disks.array import ArrayConfig
+from repro.disks.specs import make_multispeed_spec
+from repro.sim.engine import Engine
+from repro.sim.request import IoKind
+from repro.traces.model import Trace, TraceBuilder
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def spec():
+    """5-level multi-speed Ultrastar-derived spec."""
+    return make_multispeed_spec(num_levels=5)
+
+
+@pytest.fixture
+def small_config(spec) -> ArrayConfig:
+    """4 disks, 80 extents, deterministic latency for analytic checks."""
+    return ArrayConfig(
+        num_disks=4,
+        spec=spec,
+        num_extents=80,
+        extent_bytes=1 << 20,
+        deterministic_latency=True,
+        seed=7,
+    )
+
+
+def make_trace(
+    times: list[float],
+    extents: list[int] | None = None,
+    num_extents: int = 80,
+    kinds: list[IoKind] | None = None,
+    size: int = 4096,
+) -> Trace:
+    """Hand-built trace for precise scenarios."""
+    builder = TraceBuilder("test", num_extents)
+    for i, t in enumerate(times):
+        extent = extents[i] if extents is not None else i % num_extents
+        kind = kinds[i] if kinds is not None else IoKind.READ
+        builder.add(t, kind, extent, 0, size)
+    return builder.build()
+
+
+def poisson_trace(
+    rate: float = 50.0,
+    duration: float = 60.0,
+    num_extents: int = 80,
+    seed: int = 3,
+    read_fraction: float = 0.7,
+    zipf_theta: float = 0.9,
+) -> Trace:
+    """Small random trace for integration tests."""
+    from repro.traces.synthetic import SizeMix, SyntheticConfig, generate_synthetic
+
+    return generate_synthetic(
+        SyntheticConfig(
+            name="unit",
+            duration=duration,
+            rate=rate,
+            num_extents=num_extents,
+            zipf_theta=zipf_theta,
+            read_fraction=read_fraction,
+            size_mix=SizeMix(sizes=(4096,), weights=(1.0,)),
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.traces.io import load_trace
+
+
+def gen(tmp_path, extra=()):
+    path = tmp_path / "t.csv"
+    code = main([
+        "gen-trace", "--kind", "oltp", "--duration", "60", "--rate", "40",
+        "--extents", "80", "--seed", "3", "-o", str(path), *extra,
+    ])
+    assert code == 0
+    return path
+
+
+def test_gen_trace_writes_file(tmp_path, capsys):
+    path = gen(tmp_path)
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    trace = load_trace(path)
+    assert len(trace) > 0
+    assert trace.num_extents == 80
+
+
+def test_trace_stats(tmp_path, capsys):
+    path = gen(tmp_path)
+    capsys.readouterr()
+    assert main(["trace-stats", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "mean rate" in out
+    assert "top-10% share" in out
+
+
+def test_run_base(tmp_path, capsys):
+    path = gen(tmp_path)
+    capsys.readouterr()
+    assert main(["run", "--trace", str(path), "--policy", "base",
+                 "--disks", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Base" in out
+    assert "energy" in out
+
+
+def test_run_hibernator_with_goal(tmp_path, capsys):
+    path = gen(tmp_path)
+    capsys.readouterr()
+    assert main(["run", "--trace", str(path), "--policy", "hibernator",
+                 "--disks", "4", "--slack", "2.0", "--epoch", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "Hibernator" in out
+    assert "goal" in out
+    assert "savings" in out
+
+
+def test_run_every_policy(tmp_path, capsys):
+    path = gen(tmp_path)
+    for policy in ("tpm", "drpm", "pdc", "maid", "oracle"):
+        code = main(["run", "--trace", str(path), "--policy", policy,
+                     "--disks", "4", "--epoch", "30"])
+        assert code == 0, policy
+    out = capsys.readouterr().out
+    assert "TPM" in out and "Oracle" in out
+
+
+def test_run_inline_generation(capsys):
+    assert main(["run", "--kind", "synthetic", "--duration", "30",
+                 "--rate", "20", "--extents", "40", "--policy", "base",
+                 "--disks", "4"]) == 0
+    assert "Base" in capsys.readouterr().out
+
+
+def test_compare(tmp_path, capsys):
+    path = gen(tmp_path)
+    capsys.readouterr()
+    assert main(["compare", "--trace", str(path), "--disks", "4",
+                 "--epoch", "30", "--slack", "2.0"]) == 0
+    out = capsys.readouterr().out
+    for name in ("Base", "TPM", "DRPM", "PDC", "MAID", "Hibernator"):
+        assert name in out
+
+
+def test_sweep_slack(tmp_path, capsys):
+    path = gen(tmp_path)
+    capsys.readouterr()
+    assert main(["sweep-slack", "--trace", str(path), "--disks", "4",
+                 "--epoch", "30", "--slacks", "1.5,3.0"]) == 0
+    out = capsys.readouterr().out
+    assert "savings %" in out
+    assert "1.5" in out and "3" in out
+
+
+def test_sweep_slack_rejects_sub_one(tmp_path):
+    path = gen(tmp_path)
+    with pytest.raises(SystemExit):
+        main(["sweep-slack", "--trace", str(path), "--disks", "4",
+              "--slacks", "0.5"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_raid5_and_scheduler_flags(tmp_path, capsys):
+    path = gen(tmp_path)
+    capsys.readouterr()
+    assert main(["run", "--trace", str(path), "--policy", "base",
+                 "--disks", "4", "--raid5", "--scheduler", "sstf"]) == 0
+    assert "Base" in capsys.readouterr().out

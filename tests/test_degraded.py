@@ -1,0 +1,162 @@
+"""Unit tests for disk failure injection and RAID-5 degraded mode."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.disks.array import DiskArray
+from repro.disks.disk import DiskState
+from repro.disks.raid import expand_request_degraded, parity_disk_for
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.sim.request import IoKind, Request
+from repro.sim.runner import ArraySimulation
+from tests.conftest import make_trace, poisson_trace
+
+
+def make_request(extent: int, kind: IoKind = IoKind.READ, req_id: int = 0) -> Request:
+    return Request(req_id=req_id, arrival=0.0, kind=kind, extent=extent, offset=0, size=4096)
+
+
+class TestExpansion:
+    def test_healthy_data_disk_unaffected(self):
+        ops = expand_request_degraded(
+            make_request(0, IoKind.READ), 2, 5, num_disks=4, raid5=True, failed={3}
+        )
+        assert len(ops) == 1 and ops[0].disk == 2
+
+    def test_read_reconstructs_from_survivors(self):
+        ops = expand_request_degraded(
+            make_request(0, IoKind.READ), 2, 5, num_disks=4, raid5=True, failed={2}
+        )
+        assert {op.disk for op in ops} == {0, 1, 3}
+        assert all(op.kind is IoKind.READ for op in ops)
+
+    def test_read_without_raid_fails(self):
+        assert expand_request_degraded(
+            make_request(0, IoKind.READ), 2, 5, num_disks=4, raid5=False, failed={2}
+        ) is None
+
+    def test_double_failure_fails(self):
+        assert expand_request_degraded(
+            make_request(0, IoKind.READ), 2, 5, num_disks=4, raid5=True, failed={2, 3}
+        ) is None
+
+    def test_write_with_failed_data_disk_updates_parity(self):
+        req = make_request(0, IoKind.WRITE)
+        ops = expand_request_degraded(req, 2, 5, num_disks=4, raid5=True, failed={2})
+        pdisk = parity_disk_for(0, 2, 4)
+        assert {op.disk for op in ops} == {pdisk}
+        assert sorted(op.kind.value for op in ops) == ["read", "write"]
+
+    def test_write_with_failed_parity_disk_degrades(self):
+        req = make_request(0, IoKind.WRITE)
+        pdisk = parity_disk_for(0, 2, 4)
+        ops = expand_request_degraded(req, 2, 5, num_disks=4, raid5=True, failed={pdisk})
+        assert {op.disk for op in ops} == {2}
+        assert len(ops) == 2
+
+
+class TestDiskFailure:
+    def test_idle_disk_fails_immediately(self, engine, small_config):
+        array = DiskArray(engine, small_config)
+        array.fail_disk(1)
+        assert array.disks[1].state is DiskState.FAILED
+        assert array.disks[1].meter.watts == 0.0
+
+    def test_busy_disk_drains_then_fails(self, engine, small_config):
+        array = DiskArray(engine, small_config)
+        done = []
+        array.submit(make_request(1), done.append)  # extent 1 -> disk 1
+        array.fail_disk(array.extent_map.disk_of(1))
+        engine.run()
+        assert len(done) == 1 and not done[0].failed
+        assert array.disks[array.extent_map.disk_of(1)].state is DiskState.FAILED
+
+    def test_submit_to_failed_disk_raises(self, engine, small_config):
+        array = DiskArray(engine, small_config)
+        array.fail_disk(0)
+        with pytest.raises(RuntimeError):
+            array.disks[0].submit(
+                __import__("repro.sim.request", fromlist=["DiskOp"]).DiskOp(
+                    request=None, kind=IoKind.READ, disk_index=0, block=0, size=4096
+                )
+            )
+
+    def test_failed_disk_draws_no_power(self, engine, small_config):
+        array = DiskArray(engine, small_config)
+        array.fail_disk(0)
+        engine.schedule(100.0, lambda: None)
+        engine.run()
+        joules = array.disks[0].finish_accounting(engine.now)
+        assert joules == 0.0
+
+    def test_set_speed_ignored_when_failed(self, engine, small_config):
+        array = DiskArray(engine, small_config)
+        array.fail_disk(0)
+        array.disks[0].set_speed(3000)
+        engine.run()
+        assert array.disks[0].state is DiskState.FAILED
+
+    def test_migration_avoids_failed_disks(self, engine, small_config):
+        array = DiskArray(engine, small_config)
+        array.fail_disk(1)
+        extent_on_failed = next(iter(array.extent_map.extents_on(1)))
+        assert not array.migrate_extent(extent_on_failed, 2)
+        extent_on_healthy = next(iter(array.extent_map.extents_on(0)))
+        assert not array.migrate_extent(extent_on_healthy, 1)
+
+
+class TestDegradedArray:
+    def raid_config(self, small_config):
+        return dataclasses.replace(small_config, raid5=True)
+
+    def test_reads_survive_one_failure(self, engine, small_config):
+        array = DiskArray(engine, self.raid_config(small_config))
+        victim = array.extent_map.disk_of(5)
+        array.fail_disk(victim)
+        done = []
+        array.submit(make_request(5), done.append)
+        engine.run()
+        assert len(done) == 1
+        assert not done[0].failed
+        assert array.degraded_reads == 1
+
+    def test_reconstruction_touches_all_survivors(self, engine, small_config):
+        array = DiskArray(engine, self.raid_config(small_config))
+        victim = array.extent_map.disk_of(5)
+        array.fail_disk(victim)
+        array.submit(make_request(5))
+        busy = {d.index for d in array.disks if d.busy or d.queue_length}
+        assert busy == set(range(4)) - {victim}
+
+    def test_no_raid_loses_data(self, engine, small_config):
+        array = DiskArray(engine, small_config)  # striped, no parity
+        victim = array.extent_map.disk_of(5)
+        array.fail_disk(victim)
+        done = []
+        array.submit(make_request(5), done.append)
+        assert done and done[0].failed
+        assert array.failed_requests == 1
+
+    def test_runner_excludes_failed_from_latency(self, small_config):
+        trace = make_trace([0.0, 0.1], extents=[5, 6])
+        sim = ArraySimulation(trace, small_config, AlwaysOnPolicy())
+        victim = sim.array.extent_map.disk_of(5)
+        sim.array.fail_disk(victim)
+        result = sim.run()
+        assert result.failed_requests >= 1
+        assert result.num_requests + result.failed_requests == 2
+
+    def test_degraded_raid_latency_and_energy_shape(self, small_config):
+        """One failed disk: reads amplify to N-1 ops, so mean response
+        rises, while the dead spindle stops burning power."""
+        config = self.raid_config(small_config)
+        trace = poisson_trace(rate=20.0, duration=120.0, seed=67)
+        healthy = ArraySimulation(trace, config, AlwaysOnPolicy()).run()
+        sim = ArraySimulation(trace, config, AlwaysOnPolicy())
+        sim.array.fail_disk(0)
+        degraded = sim.run()
+        assert degraded.failed_requests == 0  # RAID-5 survives
+        assert degraded.mean_response_s > healthy.mean_response_s

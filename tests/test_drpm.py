@@ -1,0 +1,64 @@
+"""Unit tests for the DRPM baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.policies.drpm import DrpmConfig, DrpmPolicy
+from repro.sim.runner import ArraySimulation
+from tests.conftest import make_trace, poisson_trace
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DrpmConfig(check_interval_s=0.0)
+    with pytest.raises(ValueError):
+        DrpmConfig(samples_per_check=0)
+    with pytest.raises(ValueError):
+        DrpmConfig(low_queue=1.0, high_queue=1.0)
+
+
+def test_idle_array_steps_down(small_config):
+    """With (almost) no load, every check steps every disk down one
+    level until the floor."""
+    trace = make_trace([0.0, 200.0], extents=[0, 0])
+    policy = DrpmPolicy(DrpmConfig(check_interval_s=10.0))
+    sim = ArraySimulation(trace, small_config, policy)
+    result = sim.run()
+    # 4 levels of descent need 4 checks = 40s << 200s.
+    assert max(sim.array.speeds()) <= small_config.spec.rpm_levels[1]
+
+
+def test_min_level_respected(small_config):
+    trace = make_trace([0.0, 200.0], extents=[0, 0])
+    policy = DrpmPolicy(DrpmConfig(check_interval_s=10.0, min_level=2))
+    sim = ArraySimulation(trace, small_config, policy)
+    sim.run()
+    floor = small_config.spec.rpm_levels[2]
+    assert all(s >= floor for s in sim.array.speeds())
+
+
+def test_pressure_ramps_to_full(small_config):
+    """Sustained queueing on slow disks must trigger the ramp to full."""
+    # Quiet phase lets disks sink to the floor, then a heavy burst.
+    times = [0.0] + [100.0 + i * 0.002 for i in range(2000)]
+    trace = make_trace(times, extents=[i % 80 for i in range(len(times))])
+    policy = DrpmPolicy(DrpmConfig(check_interval_s=5.0))
+    sim = ArraySimulation(trace, small_config, policy)
+    sim.run()
+    assert max(sim.array.speeds()) == small_config.spec.max_rpm
+
+
+def test_saves_energy_but_degrades_latency(small_config):
+    """The paper's characterization of DRPM: energy down, response up,
+    no goal awareness."""
+    trace = poisson_trace(rate=10.0, duration=600.0, seed=6)
+    base = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    drpm = ArraySimulation(trace, small_config, DrpmPolicy()).run()
+    assert drpm.energy_joules < 0.95 * base.energy_joules
+    assert drpm.mean_response_s > base.mean_response_s
+
+
+def test_describe():
+    assert "DRPM" in DrpmPolicy().describe()

@@ -1,0 +1,148 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_events_fire_in_time_order(engine):
+    order = []
+    engine.schedule(3.0, order.append, "c")
+    engine.schedule(1.0, order.append, "a")
+    engine.schedule(2.0, order.append, "b")
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_timestamps_fire_in_schedule_order(engine):
+    order = []
+    for tag in ("first", "second", "third"):
+        engine.schedule(5.0, order.append, tag)
+    engine.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time(engine):
+    seen = []
+    engine.schedule(4.5, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [4.5]
+    assert engine.now == 4.5
+
+
+def test_schedule_in_past_raises(engine):
+    engine.schedule(2.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule(1.0, lambda: None)
+
+
+def test_schedule_after_negative_delay_raises(engine):
+    with pytest.raises(SimulationError):
+        engine.schedule_after(-0.1, lambda: None)
+
+
+def test_schedule_after_uses_current_time(engine):
+    times = []
+    def chain():
+        times.append(engine.now)
+        if len(times) < 3:
+            engine.schedule_after(1.5, chain)
+    engine.schedule(0.0, chain)
+    engine.run()
+    assert times == [0.0, 1.5, 3.0]
+
+
+def test_cancelled_event_does_not_fire(engine):
+    fired = []
+    handle = engine.schedule(1.0, fired.append, "x")
+    engine.schedule(2.0, fired.append, "y")
+    handle.cancel()
+    engine.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent(engine):
+    handle = engine.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert engine.run() == 0
+
+
+def test_cancel_releases_callback_references(engine):
+    big = object()
+    handle = engine.schedule(1.0, lambda x: None, big)
+    handle.cancel()
+    assert handle.args == ()
+
+
+def test_run_until_stops_before_later_events(engine):
+    fired = []
+    engine.schedule(1.0, fired.append, "early")
+    engine.schedule(10.0, fired.append, "late")
+    engine.run(until=5.0)
+    assert fired == ["early"]
+    assert engine.now == 5.0  # clock advanced to the horizon
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_max_events(engine):
+    fired = []
+    for i in range(5):
+        engine.schedule(float(i), fired.append, i)
+    assert engine.run(max_events=2) == 2
+    assert fired == [0, 1]
+
+
+def test_run_stop_predicate(engine):
+    fired = []
+    for i in range(5):
+        engine.schedule(float(i), fired.append, i)
+    engine.run(stop=lambda: len(fired) >= 3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_execute(engine):
+    order = []
+    def outer():
+        order.append("outer")
+        engine.schedule_after(0.0, order.append, "inner")
+    engine.schedule(1.0, outer)
+    engine.run()
+    assert order == ["outer", "inner"]
+
+
+def test_pending_events_counts_live_only(engine):
+    h1 = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending_events == 2
+    h1.cancel()
+    assert engine.pending_events == 1
+
+
+def test_peek_time_skips_cancelled(engine):
+    h1 = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert engine.peek_time() == 2.0
+
+
+def test_peek_time_empty():
+    assert Engine().peek_time() is None
+
+
+def test_reentrant_run_raises(engine):
+    def nested():
+        engine.run()
+    engine.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_run_returns_executed_count(engine):
+    for i in range(4):
+        engine.schedule(float(i), lambda: None)
+    assert engine.run() == 4

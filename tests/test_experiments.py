@@ -1,0 +1,145 @@
+"""Unit tests for the experiment harness and reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.energy import joules_to_kwh, mean_watts, savings_fraction
+from repro.analysis.experiments import (
+    ComparisonResult,
+    default_array_config,
+    derive_goal,
+    run_comparison,
+    run_single,
+    standard_policies,
+)
+from repro.analysis.report import format_kv, format_series, format_table
+from repro.analysis.sweeps import series, sweep
+from repro.core.hibernator import HibernatorConfig
+from repro.policies.always_on import AlwaysOnPolicy
+from tests.conftest import poisson_trace
+
+
+class TestEnergyHelpers:
+    def test_joules_to_kwh(self):
+        assert joules_to_kwh(3.6e6) == 1.0
+
+    def test_savings_fraction(self):
+        assert savings_fraction(50.0, 100.0) == pytest.approx(0.5)
+        assert savings_fraction(150.0, 100.0) == pytest.approx(-0.5)
+        assert savings_fraction(1.0, 0.0) == 0.0
+
+    def test_mean_watts(self):
+        assert mean_watts(100.0, 10.0) == 10.0
+        assert mean_watts(100.0, 0.0) == 0.0
+
+
+class TestDefaultConfig:
+    def test_paper_scale_defaults(self):
+        cfg = default_array_config()
+        assert cfg.num_disks == 24
+        assert cfg.num_extents == 2400
+        assert cfg.spec.num_levels == 5
+
+    def test_capacity_multiple(self):
+        cfg = default_array_config(num_disks=4, num_extents=80, capacity_multiple=4.0)
+        assert cfg.slots_per_disk == 80
+
+    def test_speed_levels_parameter(self):
+        cfg = default_array_config(num_speed_levels=2)
+        assert cfg.spec.rpm_levels == (7500, 15000)
+
+
+class TestDeriveGoal:
+    def test_goal_is_slack_times_base(self, small_config):
+        trace = poisson_trace(rate=20.0, duration=30.0, seed=40)
+        goal, base = derive_goal(trace, small_config, slack=2.0)
+        assert goal == pytest.approx(2.0 * base.mean_response_s)
+        assert base.policy_name == "Base"
+
+    def test_slack_below_one_rejected(self, small_config):
+        trace = poisson_trace(rate=20.0, duration=10.0, seed=40)
+        with pytest.raises(ValueError):
+            derive_goal(trace, small_config, slack=0.9)
+
+    def test_empty_trace_rejected(self, small_config):
+        from repro.traces.model import TraceBuilder
+
+        with pytest.raises(ValueError):
+            derive_goal(TraceBuilder("e", 80).build(), small_config)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        config = default_array_config(num_disks=4, num_extents=80, seed=7)
+        trace = poisson_trace(rate=30.0, duration=120.0, seed=41)
+        return run_comparison(
+            trace, config, slack=2.0,
+            hibernator_config=HibernatorConfig(epoch_seconds=60.0),
+        )
+
+    def test_all_schemes_present(self, comparison):
+        assert set(comparison.results) == {
+            "Base", "TPM", "DRPM", "PDC", "MAID", "Hibernator",
+        }
+
+    def test_base_savings_zero(self, comparison):
+        assert comparison.savings("Base") == pytest.approx(0.0)
+
+    def test_rows_render(self, comparison):
+        rows = comparison.rows()
+        assert len(rows) == 6
+        assert all(len(r) == len(ComparisonResult.HEADERS) for r in rows)
+
+    def test_same_trace_same_requests(self, comparison):
+        counts = {r.num_requests for r in comparison.results.values()}
+        assert len(counts) == 1
+
+
+def test_run_single_passes_window(small_config):
+    trace = poisson_trace(rate=20.0, duration=30.0, seed=42)
+    result = run_single(trace, small_config, AlwaysOnPolicy(), window_s=10.0)
+    assert result.latency_windows
+
+
+def test_standard_policies_shape(small_config):
+    trace = poisson_trace(rate=10.0, duration=10.0, seed=43)
+    schemes = standard_policies(trace, small_config)
+    names = [policy.name for policy, _ in schemes]
+    assert names == ["TPM", "DRPM", "PDC", "MAID", "Hibernator"]
+    maid_config = dict(schemes)["MAID"] if False else schemes[3][1]
+    assert maid_config.initial_disks is not None
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [["1"]], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_format_table_ragged_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["1"]])
+
+    def test_format_series(self):
+        out = format_series("F5", [(1.0, 2.0), (3.0, 4.0)], "slack", "savings")
+        assert "slack" in out and "savings" in out
+        assert len(out.splitlines()) == 5
+
+    def test_format_kv(self):
+        out = format_kv("Disk", [("rpm", "15000"), ("capacity", "36 GB")])
+        assert "rpm" in out and "36 GB" in out
+
+
+class TestSweep:
+    def test_sweep_collects_points(self):
+        points = sweep([1, 2, 3], lambda v: {"double": 2.0 * v})
+        assert [p.value for p in points] == [1.0, 2.0, 3.0]
+        assert series(points, "double") == [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]

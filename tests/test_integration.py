@@ -1,0 +1,78 @@
+"""End-to-end shape tests: scaled-down versions of the paper's headline
+comparisons (the full-size versions live in benchmarks/)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import default_array_config, run_comparison
+from repro.core.hibernator import HibernatorConfig
+from repro.traces.oltp import OltpConfig, generate_oltp
+
+
+@pytest.fixture(scope="module")
+def oltp_comparison():
+    """One shared scaled-down OLTP comparison (6 schemes, ~1 minute)."""
+    trace = generate_oltp(OltpConfig(duration=900.0, rate=150.0,
+                                     num_extents=480, seed=51))
+    config = default_array_config(num_disks=8, num_extents=480, seed=5)
+    return run_comparison(
+        trace, config, slack=2.0,
+        hibernator_config=HibernatorConfig(epoch_seconds=300.0),
+    )
+
+
+def test_s1_tpm_saves_nothing_on_oltp(oltp_comparison):
+    """S1: steady OLTP leaves no idle gaps beyond break-even."""
+    assert abs(oltp_comparison.savings("TPM")) < 0.05
+    assert oltp_comparison.results["TPM"].spinups == 0
+
+
+def test_s1_hibernator_saves_substantially(oltp_comparison):
+    """S1: Hibernator achieves tens of percent savings on the same trace."""
+    assert oltp_comparison.savings("Hibernator") > 0.25
+
+
+def test_s2_hibernator_meets_goal(oltp_comparison):
+    result = oltp_comparison.results["Hibernator"]
+    assert result.mean_response_s <= oltp_comparison.goal_s
+
+
+def test_s2_hibernator_best_among_goal_meeting_schemes(oltp_comparison):
+    """Among schemes that respect the goal, Hibernator saves the most."""
+    goal = oltp_comparison.goal_s
+    best_other = max(
+        oltp_comparison.savings(name)
+        for name, result in oltp_comparison.results.items()
+        if name != "Hibernator" and result.mean_response_s <= goal
+    )
+    assert oltp_comparison.savings("Hibernator") > best_other
+
+
+def test_s2_drpm_tradeoff(oltp_comparison):
+    """DRPM saves energy but has no goal awareness: its response time is
+    the worst of all schemes."""
+    drpm = oltp_comparison.results["DRPM"]
+    assert oltp_comparison.savings("DRPM") > 0.0
+    worst = max(r.mean_response_s for r in oltp_comparison.results.values())
+    assert drpm.mean_response_s == worst
+
+
+def test_base_is_fastest(oltp_comparison):
+    base_rt = oltp_comparison.results["Base"].mean_response_s
+    assert all(base_rt <= r.mean_response_s * 1.001
+               for r in oltp_comparison.results.values())
+
+
+def test_energy_accounting_consistent(oltp_comparison):
+    """Breakdown totals match the headline energy for every scheme."""
+    for result in oltp_comparison.results.values():
+        assert result.breakdown.total_joules == pytest.approx(
+            result.energy_joules, rel=1e-9
+        )
+
+
+def test_migration_only_for_migrating_schemes(oltp_comparison):
+    assert oltp_comparison.results["Base"].migration_extents == 0
+    assert oltp_comparison.results["TPM"].migration_extents == 0
+    assert oltp_comparison.results["DRPM"].migration_extents == 0

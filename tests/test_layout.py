@@ -1,0 +1,111 @@
+"""Unit tests for the multi-tier layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.layout import TierLayout, identity_layout
+from repro.core.response_model import MG1ResponseModel
+from repro.core.speed_setting import SpeedSettingConfig, solve_speed_assignment
+from repro.disks.mechanics import DiskMechanics
+from repro.disks.specs import ultrastar_36z15
+
+
+def make_assignment(heat, num_disks=4, goal=0.02):
+    spec = ultrastar_36z15()
+    model = MG1ResponseModel(DiskMechanics(spec), mean_request_bytes=4096)
+    return solve_speed_assignment(
+        heat=np.asarray(heat, dtype=float),
+        num_disks=num_disks,
+        model=model,
+        spec=spec,
+        epoch_seconds=3600.0,
+        goal_s=goal,
+        config=SpeedSettingConfig(change_penalty_joules=0.0),
+    )
+
+
+@pytest.fixture
+def skewed_assignment():
+    heat = np.zeros(80)
+    heat[:8] = 10.0
+    heat[8:] = 0.05
+    return make_assignment(heat)
+
+
+def test_identity_layout_positions(skewed_assignment):
+    layout = identity_layout(skewed_assignment)
+    for disk in range(4):
+        assert layout.rpm_of_disk(disk) == skewed_assignment.rpm_for_position(disk)
+
+
+def test_tier_of_disk_consistent(skewed_assignment):
+    layout = identity_layout(skewed_assignment)
+    for tier in range(layout.num_tiers):
+        for disk in layout.disks_in_tier(tier):
+            assert layout.tier_of_disk(disk) == tier
+
+
+def test_disks_partitioned(skewed_assignment):
+    layout = identity_layout(skewed_assignment)
+    all_disks = [d for t in range(layout.num_tiers) for d in layout.disks_in_tier(t)]
+    assert sorted(all_disks) == [0, 1, 2, 3]
+
+
+def test_custom_disk_order(skewed_assignment):
+    layout = TierLayout(assignment=skewed_assignment, disk_order=(3, 2, 1, 0))
+    assert layout.rpm_of_disk(3) == skewed_assignment.rpm_for_position(0)
+
+
+def test_disk_order_must_be_permutation(skewed_assignment):
+    with pytest.raises(ValueError):
+        TierLayout(assignment=skewed_assignment, disk_order=(0, 0, 1, 2))
+    with pytest.raises(ValueError):
+        TierLayout(assignment=skewed_assignment, disk_order=(0, 1, 2))
+
+
+def test_target_tiers_hot_on_fast(skewed_assignment):
+    layout = identity_layout(skewed_assignment)
+    heat = np.zeros(80)
+    heat[:8] = 10.0
+    heat[8:] = 0.05
+    hottest = np.argsort(-heat, kind="stable")
+    target = layout.target_tiers(hottest)
+    hot_tiers = set(target[:8])
+    cold_tiers = set(target[-40:])
+    assert max(hot_tiers) <= min(cold_tiers)
+    assert len(set(target)) >= 2
+
+
+def test_target_tiers_counts_match_boundaries(skewed_assignment):
+    layout = identity_layout(skewed_assignment)
+    hottest = np.arange(80)
+    target = layout.target_tiers(hottest)
+    eb = skewed_assignment.extent_boundaries
+    for tier in range(layout.num_tiers):
+        expected = eb[tier + 1] - eb[tier]
+        if layout.disks_in_tier(tier):
+            assert int(np.sum(target == tier)) == expected
+
+
+def test_target_tiers_wrong_size_raises(skewed_assignment):
+    layout = identity_layout(skewed_assignment)
+    with pytest.raises(ValueError):
+        layout.target_tiers(np.arange(10))
+
+
+def test_empty_tier_extents_reassigned():
+    """Rounding can land a sliver of extents in an empty tier's range;
+    they must be pushed to a tier that actually has disks."""
+    heat = np.linspace(2.0, 0.01, 80)
+    a = make_assignment(heat, num_disks=4, goal=0.03)
+    layout = identity_layout(a)
+    target = layout.target_tiers(np.argsort(-heat, kind="stable"))
+    for tier in set(int(t) for t in target):
+        assert layout.disks_in_tier(tier), f"extents assigned to empty tier {tier}"
+
+
+def test_describe_passthrough(skewed_assignment):
+    layout = identity_layout(skewed_assignment)
+    assert layout.describe() == skewed_assignment.describe()

@@ -1,0 +1,120 @@
+"""Unit tests for the MAID baseline."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.policies.maid import MaidConfig, MaidPolicy, maid_array_config
+from repro.sim.request import IoKind
+from repro.sim.runner import ArraySimulation
+from tests.conftest import make_trace, poisson_trace
+
+
+def config_for(small_config, cache_disks=1):
+    return maid_array_config(small_config, cache_disks)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MaidConfig(num_cache_disks=0)
+
+
+def test_requires_empty_cache_disks(small_config):
+    trace = make_trace([0.0])
+    policy = MaidPolicy(MaidConfig(num_cache_disks=1))
+    sim = ArraySimulation(trace, small_config, policy)  # cache disk holds data
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_requires_passive_disks(small_config):
+    trace = make_trace([0.0])
+    config = config_for(small_config, cache_disks=4)
+    with pytest.raises(ValueError):
+        ArraySimulation(trace, config, MaidPolicy(MaidConfig(num_cache_disks=4))).run()
+
+
+def test_repeated_reads_hit_cache(small_config):
+    config = config_for(small_config)
+    trace = make_trace([i * 0.1 for i in range(20)], extents=[5] * 20)
+    policy = MaidPolicy(MaidConfig(num_cache_disks=1))
+    sim = ArraySimulation(trace, config, policy)
+    sim.run()
+    assert policy.cache_misses == 1
+    assert policy.cache_hits == 19
+
+
+def test_hits_served_by_cache_disk(small_config):
+    config = config_for(small_config)
+    trace = make_trace([i * 0.1 for i in range(20)], extents=[5] * 20)
+    policy = MaidPolicy(MaidConfig(num_cache_disks=1))
+    sim = ArraySimulation(trace, config, policy)
+    sim.run()
+    # The home disk saw only the single miss; the cache disk the rest
+    # (plus the background fill write).
+    home = sim.array.extent_map.disk_of(5)
+    assert sim.array.disks[home].ops_completed == 1
+    assert sim.array.disks[0].ops_completed >= 19
+
+
+def test_writes_are_write_back(small_config):
+    config = config_for(small_config)
+    trace = make_trace([0.0, 0.1, 0.2], extents=[5, 5, 5],
+                       kinds=[IoKind.WRITE] * 3)
+    policy = MaidPolicy(MaidConfig(num_cache_disks=1))
+    sim = ArraySimulation(trace, config, policy)
+    sim.run()
+    home = sim.array.extent_map.disk_of(5)
+    assert sim.array.disks[home].ops_completed == 0  # absorbed by cache
+    assert policy.destages == 0  # never evicted
+
+
+def test_eviction_destages_dirty(small_config):
+    config = config_for(small_config)
+    # Cache capacity is slots_per_disk; touch more extents than that with
+    # writes to force dirty evictions.
+    capacity = config.slots_per_disk
+    n = capacity + 10
+    trace = make_trace([i * 0.05 for i in range(n)],
+                       extents=list(range(n)),
+                       kinds=[IoKind.WRITE] * n)
+    policy = MaidPolicy(MaidConfig(num_cache_disks=1))
+    sim = ArraySimulation(trace, config, policy)
+    sim.run()
+    assert policy.destages >= 10
+
+
+def test_passive_disks_spin_down_when_cold(small_config):
+    config = config_for(small_config)
+    # All traffic on one extent -> after the miss, passive disks idle.
+    trace = make_trace([0.0] + [100.0 + i * 0.1 for i in range(10)],
+                       extents=[5] * 11)
+    policy = MaidPolicy(MaidConfig(num_cache_disks=1, spindown_threshold_s=20.0))
+    sim = ArraySimulation(trace, config, policy)
+    sim.run()
+    passive_speeds = sim.array.speeds()[1:]
+    assert min(passive_speeds) == 0
+    # The cache disk never sleeps.
+    assert sim.array.speeds()[0] == config.spec.max_rpm
+
+
+def test_cache_reads_disabled(small_config):
+    config = config_for(small_config)
+    trace = make_trace([i * 0.1 for i in range(10)], extents=[5] * 10)
+    policy = MaidPolicy(MaidConfig(num_cache_disks=1, cache_reads=False))
+    sim = ArraySimulation(trace, config, policy)
+    sim.run()
+    assert policy.cache_hits == 0
+    home = sim.array.extent_map.disk_of(5)
+    assert sim.array.disks[home].ops_completed == 10
+
+
+def test_extras(small_config):
+    config = config_for(small_config)
+    trace = poisson_trace(rate=20.0, duration=60.0, seed=13)
+    policy = MaidPolicy(MaidConfig(num_cache_disks=1))
+    result = ArraySimulation(trace, config, policy).run()
+    assert 0.0 <= result.extras["cache_hit_rate"] <= 1.0
+    assert result.extras["cache_hits"] + result.extras["cache_misses"] == len(trace)

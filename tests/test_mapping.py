@@ -1,0 +1,117 @@
+"""Unit tests for the extent placement map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disks.mapping import ExtentMap
+
+
+def test_striped_initial_layout():
+    m = ExtentMap(num_extents=8, num_disks=4, slots_per_disk=3)
+    assert [m.disk_of(e) for e in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert all(len(m.extents_on(d)) == 2 for d in range(4))
+    m.check_invariants()
+
+
+def test_packed_initial_layout():
+    m = ExtentMap(num_extents=6, num_disks=3, slots_per_disk=3, initial="packed")
+    assert [m.disk_of(e) for e in range(6)] == [0, 0, 0, 1, 1, 1]
+    m.check_invariants()
+
+
+def test_unknown_layout_raises():
+    with pytest.raises(ValueError):
+        ExtentMap(4, 2, 4, initial="bogus")
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ExtentMap(num_extents=10, num_disks=2, slots_per_disk=4)
+
+
+def test_allowed_disks_restricts_initial_placement():
+    m = ExtentMap(num_extents=6, num_disks=4, slots_per_disk=4, allowed_disks=(2, 3))
+    assert all(m.disk_of(e) in (2, 3) for e in range(6))
+    assert m.free_slots(0) == 4
+    m.check_invariants()
+
+
+def test_allowed_disks_capacity_validation():
+    with pytest.raises(ValueError):
+        ExtentMap(num_extents=10, num_disks=4, slots_per_disk=4, allowed_disks=(0, 1))
+    with pytest.raises(ValueError):
+        ExtentMap(num_extents=2, num_disks=4, slots_per_disk=4, allowed_disks=(5,))
+
+
+def test_move_updates_everything():
+    m = ExtentMap(num_extents=4, num_disks=2, slots_per_disk=4)
+    m.move(0, 1)
+    assert m.disk_of(0) == 1
+    assert 0 in m.extents_on(1)
+    assert 0 not in m.extents_on(0)
+    assert m.free_slots(0) == 3  # started with 2 of 4 slots used
+    assert m.free_slots(1) == 1
+    m.check_invariants()
+
+
+def test_move_to_same_disk_is_noop():
+    m = ExtentMap(num_extents=4, num_disks=2, slots_per_disk=4)
+    before = m.slot_of(0)
+    m.move(0, 0)
+    assert m.slot_of(0) == before
+
+
+def test_move_to_full_disk_raises():
+    m = ExtentMap(num_extents=4, num_disks=2, slots_per_disk=2)
+    with pytest.raises(ValueError):
+        m.move(0, 1)  # disk 1 already holds extents 1, 3
+
+
+def test_swap_across_disks():
+    m = ExtentMap(num_extents=4, num_disks=2, slots_per_disk=4)
+    d0, s0 = m.disk_of(0), m.slot_of(0)
+    d1, s1 = m.disk_of(1), m.slot_of(1)
+    m.swap(0, 1)
+    assert (m.disk_of(0), m.slot_of(0)) == (d1, s1)
+    assert (m.disk_of(1), m.slot_of(1)) == (d0, s0)
+    m.check_invariants()
+
+
+def test_swap_same_disk():
+    m = ExtentMap(num_extents=4, num_disks=2, slots_per_disk=4)
+    s0, s2 = m.slot_of(0), m.slot_of(2)
+    m.swap(0, 2)  # both on disk 0
+    assert m.slot_of(0) == s2
+    assert m.slot_of(2) == s0
+    m.check_invariants()
+
+
+def test_swap_self_is_noop():
+    m = ExtentMap(num_extents=4, num_disks=2, slots_per_disk=4)
+    m.swap(3, 3)
+    m.check_invariants()
+
+
+def test_occupancy():
+    m = ExtentMap(num_extents=5, num_disks=2, slots_per_disk=5)
+    assert list(m.occupancy()) == [3, 2]
+    m.move(0, 1)
+    assert list(m.occupancy()) == [2, 3]
+
+
+def test_moves_never_lose_extents():
+    m = ExtentMap(num_extents=12, num_disks=3, slots_per_disk=8)
+    for extent in range(12):
+        m.move(extent, (extent + 1) % 3)
+    m.check_invariants()
+    assert sum(len(m.extents_on(d)) for d in range(3)) == 12
+
+
+def test_positive_dimensions_required():
+    with pytest.raises(ValueError):
+        ExtentMap(0, 1, 1)
+    with pytest.raises(ValueError):
+        ExtentMap(1, 0, 1)
+    with pytest.raises(ValueError):
+        ExtentMap(1, 1, 0)

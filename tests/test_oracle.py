@@ -1,0 +1,81 @@
+"""Unit tests for the oracle lower-bound policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.policies.oracle import OraclePolicy
+from repro.sim.runner import ArraySimulation
+from tests.conftest import poisson_trace
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OraclePolicy(epoch_seconds=0.0)
+
+
+def test_oracle_saves_energy(small_config):
+    trace = poisson_trace(rate=25.0, duration=400.0, seed=60)
+    base = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    goal = 2.0 * base.mean_response_s
+    oracle = ArraySimulation(
+        trace, small_config, OraclePolicy(epoch_seconds=100.0), goal_s=goal
+    ).run()
+    assert oracle.energy_joules < 0.7 * base.energy_joules
+    assert oracle.mean_response_s <= goal
+
+
+def test_oracle_never_migrates_with_io(small_config):
+    """Free migration: the map changes, migration I/O never happens."""
+    trace = poisson_trace(rate=25.0, duration=300.0, zipf_theta=1.3, seed=61)
+    result = ArraySimulation(
+        trace, small_config, OraclePolicy(epoch_seconds=100.0), goal_s=0.05
+    ).run()
+    assert result.migration_extents == 0
+    assert result.migration_bytes == 0
+
+
+def test_oracle_lower_bounds_hibernator(small_config):
+    """The point of the oracle: it must use no more energy than the real
+    online system on the same run."""
+    import dataclasses
+
+    from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
+    from repro.traces.tracestats import per_extent_rates
+
+    trace = poisson_trace(rate=25.0, duration=500.0, zipf_theta=1.1, seed=62)
+    base = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    goal = 2.0 * base.mean_response_s
+    oracle = ArraySimulation(
+        trace, small_config, OraclePolicy(epoch_seconds=100.0), goal_s=goal
+    ).run()
+    hib_config = HibernatorConfig(epoch_seconds=100.0,
+                                  prime_rates=per_extent_rates(trace))
+    hibernator = ArraySimulation(
+        trace, small_config, HibernatorPolicy(hib_config), goal_s=goal
+    ).run()
+    assert oracle.energy_joules <= hibernator.energy_joules * 1.02
+
+
+def test_oracle_adapts_to_phase_change(small_config):
+    """Clairvoyance: the oracle reconfigures *at* the change, not after
+    observing it."""
+    from tests.conftest import make_trace
+
+    quiet = [i * 0.5 for i in range(200)]          # 2/s for 100s
+    busy = [100.0 + i * 0.005 for i in range(20000)]  # 200/s for 100s
+    trace = make_trace(sorted(quiet + busy),
+                       extents=[i % 80 for i in range(20200)])
+    result = ArraySimulation(
+        trace, small_config, OraclePolicy(epoch_seconds=100.0),
+        goal_s=0.012, window_s=50.0,
+    ).run()
+    # The busy phase is served within the goal because the oracle had
+    # already sped up at t=100.
+    busy_windows = [rt for t, rt, n in result.latency_windows if t >= 100 and n]
+    assert max(busy_windows) < 0.012
+
+
+def test_oracle_describe():
+    assert "Oracle" in OraclePolicy(epoch_seconds=60.0).describe()

@@ -1,0 +1,128 @@
+"""Property-based tests for scheduling disciplines and degraded RAID."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disks.raid import expand_request_degraded, parity_disk_for
+from repro.disks.scheduling import make_discipline
+from repro.sim.request import DiskOp, IoKind, Request
+
+
+def op(block: int, tag: int) -> DiskOp:
+    return DiskOp(request=None, kind=IoKind.READ, disk_index=0, block=block, size=tag)
+
+
+@settings(max_examples=100)
+@given(
+    st.sampled_from(["fcfs", "sstf", "scan"]),
+    st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=999),
+)
+def test_every_discipline_serves_each_op_exactly_once(name, blocks, head):
+    """Conservation: any discipline is a permutation of the queue."""
+    q = make_discipline(name)
+    for i, block in enumerate(blocks):
+        q.push(op(block, i))
+    served = []
+    position = head
+    while q:
+        nxt = q.pop(position)
+        served.append(nxt.size)  # tag
+        position = nxt.block
+    assert sorted(served) == list(range(len(blocks)))
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(st.integers(min_value=0, max_value=999), min_size=2, max_size=20),
+    st.integers(min_value=0, max_value=999),
+)
+def test_sstf_first_choice_is_truly_nearest(blocks, head):
+    q = make_discipline("sstf")
+    for i, block in enumerate(blocks):
+        q.push(op(block, i))
+    first = q.pop(head)
+    assert abs(first.block - head) == min(abs(b - head) for b in blocks)
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(st.integers(min_value=0, max_value=999), min_size=2, max_size=20,
+             unique=True),
+    st.integers(min_value=0, max_value=999),
+)
+def test_scan_never_reverses_twice_without_serving(blocks, head):
+    """SCAN's sweep property: the head direction changes at most once
+    between consecutive services when no new ops arrive."""
+    q = make_discipline("scan")
+    for i, block in enumerate(blocks):
+        q.push(op(block, i))
+    position = head
+    direction = 0
+    reversals = 0
+    while q:
+        nxt = q.pop(position)
+        step = nxt.block - position
+        if step != 0:
+            new_direction = 1 if step > 0 else -1
+            if direction and new_direction != direction:
+                reversals += 1
+            direction = new_direction
+        position = nxt.block
+    assert reversals <= 1
+
+
+# ---------------------------------------------------------------------------
+# Degraded RAID expansion properties
+# ---------------------------------------------------------------------------
+
+def request(kind: IoKind) -> Request:
+    return Request(req_id=0, arrival=0.0, kind=kind, extent=7, offset=0, size=4096)
+
+
+@settings(max_examples=200)
+@given(
+    st.integers(min_value=2, max_value=12),          # num_disks
+    st.data(),
+)
+def test_degraded_expansion_never_touches_failed_disks(num_disks, data):
+    data_disk = data.draw(st.integers(0, num_disks - 1))
+    failed = set(data.draw(st.lists(st.integers(0, num_disks - 1), max_size=2)))
+    kind = data.draw(st.sampled_from([IoKind.READ, IoKind.WRITE]))
+    ops = expand_request_degraded(
+        request(kind), data_disk, 3, num_disks=num_disks, raid5=True, failed=failed
+    )
+    if ops is None:
+        return  # unservable is an acceptable outcome
+    assert ops, "servable request must produce at least one op"
+    for io in ops:
+        assert io.disk not in failed
+        assert 0 <= io.disk < num_disks
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=2, max_value=12), st.data())
+def test_degraded_read_is_reconstruction_or_direct(num_disks, data):
+    data_disk = data.draw(st.integers(0, num_disks - 1))
+    failed = {data.draw(st.integers(0, num_disks - 1))}
+    ops = expand_request_degraded(
+        request(IoKind.READ), data_disk, 3, num_disks=num_disks, raid5=True,
+        failed=failed,
+    )
+    assert ops is not None  # single failure is always survivable
+    if data_disk in failed:
+        assert len(ops) == num_disks - 1
+    else:
+        assert len(ops) == 1 and ops[0].disk == data_disk
+
+
+@settings(max_examples=200)
+@given(st.integers(min_value=2, max_value=16), st.integers(min_value=0, max_value=500))
+def test_parity_rotation_covers_disks(num_disks, extent):
+    for data_disk in range(num_disks):
+        p = parity_disk_for(extent, data_disk, num_disks)
+        assert p != data_disk
+        assert 0 <= p < num_disks

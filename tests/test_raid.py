@@ -1,0 +1,70 @@
+"""Unit tests for RAID-5 request expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disks.raid import expand_request, parity_disk_for
+from repro.sim.request import IoKind, Request
+
+
+def make_request(kind: IoKind, extent: int = 0, size: int = 4096) -> Request:
+    return Request(req_id=1, arrival=0.0, kind=kind, extent=extent, offset=0, size=size)
+
+
+def test_read_is_single_op_without_raid():
+    ops = expand_request(make_request(IoKind.READ), 2, 7, num_disks=8, raid5=False)
+    assert len(ops) == 1
+    assert ops[0].disk == 2 and ops[0].block == 7 and ops[0].kind is IoKind.READ
+
+
+def test_write_is_single_op_without_raid():
+    ops = expand_request(make_request(IoKind.WRITE), 2, 7, num_disks=8, raid5=False)
+    assert len(ops) == 1
+    assert ops[0].kind is IoKind.WRITE
+
+
+def test_raid5_read_is_single_op():
+    ops = expand_request(make_request(IoKind.READ), 2, 7, num_disks=8, raid5=True)
+    assert len(ops) == 1
+
+
+def test_raid5_write_is_four_ops_on_two_disks():
+    """Read-modify-write: read+write data, read+write parity."""
+    ops = expand_request(make_request(IoKind.WRITE, extent=5), 2, 7, num_disks=8, raid5=True)
+    assert len(ops) == 4
+    disks = {op.disk for op in ops}
+    assert len(disks) == 2 and 2 in disks
+    kinds = sorted(op.kind.value for op in ops)
+    assert kinds == ["read", "read", "write", "write"]
+
+
+def test_parity_disk_never_data_disk():
+    for extent in range(50):
+        for data_disk in range(8):
+            p = parity_disk_for(extent, data_disk, 8)
+            assert 0 <= p < 8
+            assert p != data_disk
+
+
+def test_parity_rotates_with_extent():
+    parities = {parity_disk_for(e, 0, 8) for e in range(20)}
+    assert len(parities) > 1  # spread, not pinned
+
+
+def test_raid5_needs_two_disks():
+    with pytest.raises(ValueError):
+        parity_disk_for(0, 0, 1)
+
+
+def test_parity_block_defaults_to_data_block():
+    ops = expand_request(make_request(IoKind.WRITE), 1, 9, num_disks=4, raid5=True)
+    assert all(op.block == 9 for op in ops)
+
+
+def test_parity_block_override():
+    ops = expand_request(
+        make_request(IoKind.WRITE), 1, 9, num_disks=4, raid5=True, parity_block=3
+    )
+    parity_ops = [op for op in ops if op.disk != 1]
+    assert all(op.block == 3 for op in parity_ops)

@@ -1,0 +1,148 @@
+"""Unit tests for RAID-5 rebuild."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.disks.array import DiskArray
+from repro.disks.rebuild import RebuildManager
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.sim.request import IoKind, Request
+from repro.sim.runner import ArraySimulation
+from tests.conftest import poisson_trace
+
+
+@pytest.fixture
+def raid_array(engine, small_config):
+    # Extra slot capacity so distributed sparing has room for a whole
+    # disk's extents.
+    return DiskArray(engine, dataclasses.replace(small_config, raid5=True,
+                                                 slots_override=40))
+
+
+def test_requires_failed_disk(engine, raid_array):
+    with pytest.raises(ValueError):
+        RebuildManager(raid_array).start(0)
+
+
+def test_rebuild_empties_failed_disk(engine, raid_array):
+    raid_array.fail_disk(1)
+    victims = len(raid_array.extent_map.extents_on(1))
+    assert victims > 0
+    done = []
+    manager = RebuildManager(raid_array)
+    scheduled = manager.start(1, done.append)
+    assert scheduled == victims
+    engine.run()
+    assert done == [manager]
+    assert manager.rebuilt == victims
+    assert len(raid_array.extent_map.extents_on(1)) == 0
+    raid_array.extent_map.check_invariants()
+    assert manager.duration_s is not None and manager.duration_s > 0
+
+
+def test_rebuild_spreads_across_survivors(engine, raid_array):
+    raid_array.fail_disk(1)
+    manager = RebuildManager(raid_array)
+    manager.start(1)
+    engine.run()
+    occupancy = raid_array.extent_map.occupancy()
+    survivors = [occupancy[d] for d in (0, 2, 3)]
+    assert max(survivors) - min(survivors) <= 2
+
+
+def test_rebuild_does_io_on_all_survivors(engine, raid_array):
+    raid_array.fail_disk(1)
+    before = [d.ops_completed for d in raid_array.disks]
+    RebuildManager(raid_array).start(1)
+    engine.run()
+    after = [d.ops_completed for d in raid_array.disks]
+    for disk in (0, 2, 3):
+        assert after[disk] > before[disk]
+    assert after[1] == before[1]  # the dead disk serves nothing
+
+
+def test_requests_leave_degraded_mode_after_rebuild(engine, raid_array):
+    raid_array.fail_disk(1)
+    RebuildManager(raid_array).start(1)
+    engine.run()
+    # A read of a formerly-degraded extent is now a single op again.
+    extent = 1  # was striped onto disk 1
+    req = Request(req_id=0, arrival=engine.now, kind=IoKind.READ,
+                  extent=extent, offset=0, size=4096)
+    raid_array.submit(req)
+    busy = [d.index for d in raid_array.disks if d.busy or d.queue_length]
+    assert len(busy) == 1
+    assert busy[0] != 1
+
+
+def test_start_twice_rejected(engine, raid_array):
+    raid_array.fail_disk(1)
+    manager = RebuildManager(raid_array)
+    manager.start(1)
+    with pytest.raises(RuntimeError):
+        manager.start(1)
+
+
+def test_concurrency_validation(engine, raid_array):
+    with pytest.raises(ValueError):
+        RebuildManager(raid_array, max_inflight=0)
+
+
+def test_rebuild_capacity_limit_reported(engine, small_config):
+    """Without spare capacity, the rebuilder places what fits and
+    reports the remainder as unplaced (still exposed)."""
+    array = DiskArray(engine, dataclasses.replace(small_config, raid5=True))
+    array.fail_disk(1)
+    manager = RebuildManager(array)
+    manager.start(1)
+    engine.run()
+    assert manager.rebuilt + manager.unplaced == 20
+    assert manager.unplaced > 0
+    array.extent_map.check_invariants()
+
+
+def test_rebuild_under_load(small_config):
+    """Rebuild completes while foreground traffic flows, and foreground
+    requests keep succeeding throughout."""
+    config = dataclasses.replace(small_config, raid5=True, slots_override=40)
+    trace = poisson_trace(rate=20.0, duration=120.0, seed=68)
+    sim = ArraySimulation(trace, config, AlwaysOnPolicy())
+    sim.array.fail_disk(2)
+    manager = RebuildManager(sim.array)
+    sim.engine.schedule(1.0, manager.start, 2)
+    result = sim.run()
+    assert result.failed_requests == 0
+    assert manager.rebuilt > 0
+    assert len(sim.array.extent_map.extents_on(2)) == 0
+
+
+class TestWriteCache:
+    def test_writes_complete_at_controller_latency(self, small_config):
+        from tests.conftest import make_trace
+
+        config = dataclasses.replace(small_config, write_cache=True)
+        trace = make_trace([0.0, 0.1], kinds=[IoKind.WRITE, IoKind.WRITE])
+        result = ArraySimulation(trace, config, AlwaysOnPolicy()).run()
+        assert result.mean_response_s == pytest.approx(config.write_cache_latency_s)
+
+    def test_reads_unaffected(self, small_config):
+        from tests.conftest import make_trace
+
+        config = dataclasses.replace(small_config, write_cache=True)
+        trace = make_trace([0.0], kinds=[IoKind.READ])
+        cached = ArraySimulation(trace, config, AlwaysOnPolicy()).run()
+        plain = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+        assert cached.mean_response_s == pytest.approx(plain.mean_response_s)
+
+    def test_destage_energy_still_charged(self, small_config):
+        """The cache hides latency, not joules: disk activity matches the
+        uncached run."""
+        trace = poisson_trace(rate=20.0, duration=60.0, read_fraction=0.0, seed=69)
+        config = dataclasses.replace(small_config, write_cache=True)
+        cached = ArraySimulation(trace, config, AlwaysOnPolicy()).run()
+        plain = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+        assert cached.energy_joules == pytest.approx(plain.energy_joules, rel=0.02)
+        assert cached.mean_response_s < plain.mean_response_s

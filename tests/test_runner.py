@@ -1,0 +1,127 @@
+"""Unit tests for the simulation runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.sim.runner import ArraySimulation
+from tests.conftest import make_trace, poisson_trace
+
+
+def test_all_requests_complete(small_config):
+    trace = poisson_trace(rate=20.0, duration=30.0, seed=30)
+    result = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    assert result.num_requests == len(trace)
+
+
+def test_single_shot(small_config):
+    sim = ArraySimulation(make_trace([0.0]), small_config, AlwaysOnPolicy())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_energy_window_covers_trace_duration(small_config):
+    """A lone early request must not shrink the accounting window below
+    the trace's nominal duration."""
+    trace = make_trace([0.0, 100.0], extents=[0, 0])
+    result = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    assert result.sim_end >= 100.0
+    idle_watts = small_config.spec.idle_watts(15000)
+    assert result.energy_joules == pytest.approx(
+        4 * idle_watts * result.sim_end, rel=0.01
+    )
+
+
+def test_lingering_timers_do_not_stretch_the_window(small_config):
+    """Policies may have periodic events scheduled past the last
+    completion; the run must end at drain, not at the last timer."""
+
+    class NoisyPolicy(AlwaysOnPolicy):
+        def attach(self, sim):
+            super().attach(sim)
+            def tick():
+                sim.engine.schedule_after(50.0, tick)
+            sim.engine.schedule_after(50.0, tick)
+
+    trace = make_trace([0.0, 10.0], extents=[0, 1])
+    result = ArraySimulation(trace, small_config, NoisyPolicy()).run()
+    assert result.sim_end == pytest.approx(10.0, abs=1.0)
+
+
+def test_goal_recorded(small_config):
+    trace = make_trace([0.0])
+    result = ArraySimulation(trace, small_config, AlwaysOnPolicy(), goal_s=0.02).run()
+    assert result.goal_s == 0.02
+    assert result.cumulative_avg_vs_goal is not None
+    assert result.meets_goal
+
+
+def test_no_goal(small_config):
+    result = ArraySimulation(make_trace([0.0]), small_config, AlwaysOnPolicy()).run()
+    assert result.goal_s is None
+    assert result.cumulative_avg_vs_goal is None
+    assert result.meets_goal
+
+
+def test_latency_windows_collected(small_config):
+    trace = poisson_trace(rate=20.0, duration=50.0, seed=31)
+    result = ArraySimulation(
+        trace, small_config, AlwaysOnPolicy(), window_s=10.0
+    ).run()
+    assert len(result.latency_windows) >= 5
+    total = sum(n for _, _, n in result.latency_windows)
+    assert total == result.num_requests
+
+
+def test_speed_samples_collected(small_config):
+    trace = poisson_trace(rate=20.0, duration=50.0, seed=31)
+    result = ArraySimulation(
+        trace, small_config, AlwaysOnPolicy(), window_s=10.0
+    ).run()
+    assert len(result.speed_samples) >= 5
+    for _, mean_rpm, spinning in result.speed_samples:
+        assert mean_rpm == 15000.0
+        assert spinning == 4
+
+
+def test_keep_latency_samples_false(small_config):
+    trace = poisson_trace(rate=20.0, duration=20.0, seed=32)
+    result = ArraySimulation(
+        trace, small_config, AlwaysOnPolicy(), keep_latency_samples=False
+    ).run()
+    assert result.mean_response_s > 0
+    assert result.p95_response_s == 0.0  # percentiles unavailable
+
+
+def test_percentiles_ordered(small_config):
+    trace = poisson_trace(rate=40.0, duration=60.0, seed=33)
+    result = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    assert (result.mean_response_s
+            <= result.p95_response_s
+            <= result.p99_response_s
+            <= result.max_response_s)
+
+
+def test_energy_savings_vs(small_config):
+    trace = poisson_trace(rate=20.0, duration=30.0, seed=34)
+    a = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    b = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    assert a.energy_savings_vs(b) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_mean_power(small_config):
+    trace = make_trace([0.0, 100.0], extents=[0, 0])
+    result = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    expected = 4 * small_config.spec.idle_watts(15000)
+    assert result.mean_power_watts == pytest.approx(expected, rel=0.01)
+
+
+def test_empty_trace_runs(small_config):
+    from repro.traces.model import TraceBuilder
+
+    trace = TraceBuilder("empty", small_config.num_extents).build()
+    result = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    assert result.num_requests == 0
+    assert result.mean_response_s == 0.0

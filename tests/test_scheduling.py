@@ -1,0 +1,141 @@
+"""Unit tests for disk queue scheduling disciplines."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.disks.disk import MultiSpeedDisk
+from repro.disks.scheduling import FcfsQueue, ScanQueue, SstfQueue, make_discipline
+from repro.disks.specs import ultrastar_36z15
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.sim.engine import Engine
+from repro.sim.request import DiskOp, IoKind
+from repro.sim.runner import ArraySimulation
+from tests.conftest import poisson_trace
+
+
+def op(block: int) -> DiskOp:
+    return DiskOp(request=None, kind=IoKind.READ, disk_index=0, block=block, size=4096)
+
+
+class TestFcfs:
+    def test_arrival_order(self):
+        q = FcfsQueue()
+        for b in (5, 1, 9):
+            q.push(op(b))
+        assert [q.pop(0).block for _ in range(3)] == [5, 1, 9]
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            FcfsQueue().pop(0)
+
+
+class TestSstf:
+    def test_nearest_first(self):
+        q = SstfQueue()
+        for b in (50, 10, 30):
+            q.push(op(b))
+        assert q.pop(25).block == 30
+        assert q.pop(30).block == 50  # distance tie (20 vs 20): earliest queued wins
+        assert q.pop(50).block == 10
+
+    def test_tie_breaks_to_earliest(self):
+        q = SstfQueue()
+        q.push(op(20))
+        q.push(op(40))
+        assert q.pop(30).block == 20  # both distance 10; first queued wins
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            SstfQueue().pop(0)
+
+    def test_len_and_clear(self):
+        q = SstfQueue()
+        q.push(op(1))
+        q.push(op(2))
+        assert len(q) == 2
+        q.clear()
+        assert not q
+
+
+class TestScan:
+    def test_sweeps_upward_first(self):
+        q = ScanQueue()
+        for b in (80, 20, 60, 40):
+            q.push(op(b))
+        head = 30
+        order = []
+        while q:
+            nxt = q.pop(head)
+            order.append(nxt.block)
+            head = nxt.block
+        assert order == [40, 60, 80, 20]  # up-sweep, then reverse
+
+    def test_reverses_when_nothing_ahead(self):
+        q = ScanQueue()
+        q.push(op(10))
+        assert q.pop(50).block == 10
+
+    def test_serves_current_position(self):
+        q = ScanQueue()
+        q.push(op(30))
+        assert q.pop(30).block == 30
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            ScanQueue().pop(0)
+
+
+def test_make_discipline():
+    assert isinstance(make_discipline("fcfs"), FcfsQueue)
+    assert isinstance(make_discipline("sstf"), SstfQueue)
+    assert isinstance(make_discipline("scan"), ScanQueue)
+    with pytest.raises(ValueError):
+        make_discipline("elevator9000")
+
+
+class TestDiskIntegration:
+    def run_disk(self, scheduler: str, blocks: list[int]) -> list[int]:
+        engine = Engine()
+        disk = MultiSpeedDisk(engine, ultrastar_36z15(), total_blocks=100,
+                              rng=None, scheduler=scheduler)
+        served: list[int] = []
+        for b in blocks:
+            disk.submit(DiskOp(request=None, kind=IoKind.READ, disk_index=0,
+                               block=b, size=4096,
+                               on_complete=lambda o: served.append(o.block)))
+        engine.run()
+        return served
+
+    def test_disk_respects_discipline(self):
+        blocks = [90, 10, 50, 20, 80]
+        fcfs = self.run_disk("fcfs", blocks)
+        sstf = self.run_disk("sstf", blocks)
+        assert fcfs == blocks
+        assert sstf != blocks  # reordered
+        assert sorted(sstf) == sorted(blocks)
+
+    def test_sstf_reduces_total_seek_distance(self):
+        blocks = [90, 10, 50, 20, 80, 5, 95, 45]
+
+        def travel(order):
+            head = order[0]  # first op served immediately either way
+            total = 0
+            for b in order:
+                total += abs(b - head)
+                head = b
+            return total
+
+        assert travel(self.run_disk("sstf", blocks)) <= travel(self.run_disk("fcfs", blocks))
+
+
+def test_sstf_improves_response_under_load(small_config):
+    """System-level: with deep queues, seek-aware scheduling beats FCFS
+    on mean response time."""
+    trace = poisson_trace(rate=120.0, duration=120.0, num_extents=80, seed=55)
+    fcfs = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    sstf_config = dataclasses.replace(small_config, scheduler="sstf")
+    sstf = ArraySimulation(trace, sstf_config, AlwaysOnPolicy()).run()
+    assert sstf.mean_response_s < fcfs.mean_response_s

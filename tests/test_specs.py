@@ -1,0 +1,132 @@
+"""Unit tests for disk specs and the power scaling laws."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disks.specs import DiskSpec, make_multispeed_spec, ultrastar_36z15
+
+
+def test_default_levels_are_evenly_spaced():
+    spec = ultrastar_36z15()
+    assert spec.rpm_levels == (3000, 6000, 9000, 12000, 15000)
+    assert spec.max_rpm == 15000
+    assert spec.min_rpm == 3000
+    assert spec.num_levels == 5
+
+
+def test_datasheet_power_anchors():
+    """At full speed the derived figures must match the data sheet."""
+    spec = ultrastar_36z15()
+    assert spec.idle_watts(15000) == pytest.approx(10.2, abs=0.01)
+    assert spec.active_watts(15000) == pytest.approx(13.5, abs=0.01)
+    assert spec.idle_watts(0) == pytest.approx(2.5)
+
+
+def test_idle_power_monotone_in_rpm():
+    spec = ultrastar_36z15()
+    watts = [spec.idle_watts(r) for r in spec.rpm_levels]
+    assert watts == sorted(watts)
+    assert all(w > spec.standby_watts for w in watts)
+
+
+def test_low_speed_power_is_much_cheaper():
+    """The RPM^2.8 law: the slowest level costs a small fraction of full
+    spindle power — this gap is Hibernator's entire opportunity."""
+    spec = ultrastar_36z15()
+    full_spindle = spec.idle_watts(15000) - spec.electronics_watts
+    slow_spindle = spec.idle_watts(3000) - spec.electronics_watts
+    assert slow_spindle / full_spindle < 0.05
+
+
+def test_rotation_time_scales_inverse_rpm():
+    spec = ultrastar_36z15()
+    assert spec.rotation_s(15000) == pytest.approx(0.004)
+    assert spec.rotation_s(3000) == pytest.approx(0.020)
+
+
+def test_transfer_rate_linear_in_rpm():
+    spec = ultrastar_36z15()
+    assert spec.transfer_bps(15000) == pytest.approx(55e6)
+    assert spec.transfer_bps(7500) == pytest.approx(27.5e6)
+
+
+def test_transition_cost_zero_for_same_speed():
+    spec = ultrastar_36z15()
+    assert spec.transition_cost(9000, 9000) == (0.0, 0.0)
+
+
+def test_full_spinup_matches_datasheet():
+    spec = ultrastar_36z15()
+    seconds, joules = spec.transition_cost(0, 15000)
+    assert seconds == pytest.approx(10.9)
+    assert joules == pytest.approx(135.0)
+
+
+def test_partial_spinup_scales():
+    spec = ultrastar_36z15()
+    seconds, joules = spec.transition_cost(0, 3000)
+    assert seconds == pytest.approx(10.9 / 5)
+    assert joules == pytest.approx(135.0 / 5)
+
+
+def test_spindown_cost():
+    spec = ultrastar_36z15()
+    seconds, joules = spec.transition_cost(15000, 0)
+    assert seconds == pytest.approx(1.5)
+    assert joules == pytest.approx(13.0)
+
+
+def test_speed_change_scales_with_distance():
+    spec = ultrastar_36z15()
+    s1, j1 = spec.transition_cost(3000, 6000)
+    s2, j2 = spec.transition_cost(3000, 12000)
+    assert s2 == pytest.approx(3 * s1)
+    assert j2 == pytest.approx(3 * j1)
+
+
+def test_speed_change_symmetric():
+    spec = ultrastar_36z15()
+    assert spec.transition_cost(6000, 12000) == spec.transition_cost(12000, 6000)
+
+
+def test_level_of_validates():
+    spec = ultrastar_36z15()
+    assert spec.level_of(9000) == 2
+    with pytest.raises(ValueError):
+        spec.level_of(5000)
+
+
+def test_with_levels_replaces():
+    spec = ultrastar_36z15().with_levels((6000, 15000))
+    assert spec.rpm_levels == (6000, 15000)
+
+
+def test_single_speed_spec():
+    spec = make_multispeed_spec(num_levels=1)
+    assert spec.rpm_levels == (15000,)
+
+
+def test_invalid_num_levels():
+    with pytest.raises(ValueError):
+        make_multispeed_spec(num_levels=0)
+    with pytest.raises(ValueError):
+        make_multispeed_spec(num_levels=7)  # 15000 not divisible
+
+
+def test_spec_validation_rejects_bad_levels():
+    spec = ultrastar_36z15()
+    with pytest.raises(ValueError):
+        spec.with_levels(())
+    with pytest.raises(ValueError):
+        spec.with_levels((0, 15000))
+
+
+def test_active_at_standby_raises():
+    with pytest.raises(ValueError):
+        ultrastar_36z15().active_watts(0)
+
+
+def test_rotation_at_zero_raises():
+    with pytest.raises(ValueError):
+        ultrastar_36z15().rotation_s(0)

@@ -1,0 +1,133 @@
+"""Unit tests for the utilization-based setter and adaptive epochs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
+from repro.core.response_model import MG1ResponseModel
+from repro.core.speed_setting import solve_utilization_assignment
+from repro.disks.mechanics import DiskMechanics
+from repro.disks.specs import ultrastar_36z15
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.sim.runner import ArraySimulation
+from repro.traces.tracestats import per_extent_rates
+from tests.conftest import poisson_trace
+
+
+@pytest.fixture
+def model():
+    return MG1ResponseModel(DiskMechanics(ultrastar_36z15()), mean_request_bytes=4096)
+
+
+class TestUtilizationSetter:
+    def solve(self, total_rate, model, target=0.6, num_disks=4):
+        spec = ultrastar_36z15()
+        heat = np.full(80, total_rate / 80)
+        return solve_utilization_assignment(
+            heat, num_disks, model, spec, 3600.0, util_target=target
+        )
+
+    def test_light_load_slowest_speed(self, model):
+        a = self.solve(4.0, model)
+        assert a.counts[-1] == 4  # all at 3000 rpm
+        assert a.feasible
+
+    def test_heavy_load_full_speed(self, model):
+        # Per-disk rate high enough that only full speed meets the target.
+        heavy = 0.59 * 4 / model.moments(15000).mean
+        a = self.solve(heavy, model)
+        assert a.counts[0] == 4
+
+    def test_single_uniform_tier_always(self, model):
+        for rate in (1.0, 40.0, 200.0):
+            a = self.solve(rate, model)
+            assert sum(1 for c in a.counts if c > 0) == 1
+
+    def test_target_controls_choice(self, model):
+        lax = self.solve(100.0, model, target=0.9)
+        strict = self.solve(100.0, model, target=0.2)
+        lax_rpm = [r for r, c in zip(lax.speeds_desc, lax.counts) if c][0]
+        strict_rpm = [r for r, c in zip(strict.speeds_desc, strict.counts) if c][0]
+        assert strict_rpm >= lax_rpm
+
+    def test_overload_falls_back_to_fastest(self, model):
+        saturating = 2.0 * 4 / model.moments(15000).mean
+        a = self.solve(saturating, model)
+        assert a.counts[0] == 4
+        assert not a.feasible
+
+    def test_validation(self, model):
+        spec = ultrastar_36z15()
+        with pytest.raises(ValueError):
+            solve_utilization_assignment(np.ones(4), 4, model, spec, 3600.0, util_target=1.5)
+        with pytest.raises(ValueError):
+            solve_utilization_assignment(np.array([]), 4, model, spec, 3600.0)
+        with pytest.raises(ValueError):
+            solve_utilization_assignment(np.ones(4), 0, model, spec, 3600.0)
+
+    def test_hibernator_with_utilization_setter_runs(self, small_config):
+        trace = poisson_trace(rate=30.0, duration=300.0, seed=63)
+        config = HibernatorConfig(
+            epoch_seconds=100.0,
+            speed_setter="utilization",
+            prime_rates=per_extent_rates(trace),
+        )
+        policy = HibernatorPolicy(config)
+        result = ArraySimulation(trace, small_config, policy, goal_s=0.05).run()
+        assert result.num_requests == len(trace)
+        # Uniform configurations only.
+        for record in policy.epochs:
+            assert "+" not in record.configuration
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HibernatorConfig(speed_setter="psychic")
+        with pytest.raises(ValueError):
+            HibernatorConfig(util_target=0.0)
+
+
+class TestAdaptiveEpochs:
+    def test_epoch_grows_when_stable(self, small_config):
+        trace = poisson_trace(rate=30.0, duration=1600.0, seed=64)
+        config = HibernatorConfig(
+            epoch_seconds=100.0,
+            adaptive_epochs=True,
+            max_epoch_multiple=8.0,
+            prime_rates=per_extent_rates(trace),
+        )
+        policy = HibernatorPolicy(config)
+        result = ArraySimulation(trace, small_config, policy, goal_s=0.05).run()
+        # On a steady workload the configuration stabilizes and the
+        # epoch stretches.
+        assert result.extras["final_epoch_s"] > 100.0
+        assert result.extras["final_epoch_s"] <= 800.0
+        # Fewer boundaries than the fixed-epoch run would have had.
+        assert result.extras["epochs"] < 1600.0 / 100.0
+
+    def test_epoch_cap_respected(self, small_config):
+        trace = poisson_trace(rate=30.0, duration=3200.0, seed=65)
+        config = HibernatorConfig(
+            epoch_seconds=50.0,
+            adaptive_epochs=True,
+            max_epoch_multiple=4.0,
+            prime_rates=per_extent_rates(trace),
+        )
+        policy = HibernatorPolicy(config)
+        result = ArraySimulation(trace, small_config, policy, goal_s=0.05).run()
+        assert result.extras["final_epoch_s"] <= 200.0
+
+    def test_fixed_epochs_by_default(self, small_config):
+        trace = poisson_trace(rate=30.0, duration=500.0, seed=66)
+        config = HibernatorConfig(epoch_seconds=100.0,
+                                  prime_rates=per_extent_rates(trace))
+        policy = HibernatorPolicy(config)
+        result = ArraySimulation(trace, small_config, policy, goal_s=0.05).run()
+        assert result.extras["final_epoch_s"] == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HibernatorConfig(max_epoch_multiple=0.5)

@@ -1,0 +1,246 @@
+"""Unit tests for the CR speed-setting optimizer."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.response_model import MG1ResponseModel
+from repro.core.speed_setting import (
+    SpeedAssignment,
+    SpeedSettingConfig,
+    solve_speed_assignment,
+)
+from repro.disks.mechanics import DiskMechanics
+from repro.disks.specs import ultrastar_36z15
+
+
+@pytest.fixture
+def model():
+    return MG1ResponseModel(DiskMechanics(ultrastar_36z15()), mean_request_bytes=4096)
+
+
+def solve(heat, num_disks=4, model=None, goal=None, prev=None, cfg=None,
+          epoch=3600.0, spec=None):
+    spec = spec or ultrastar_36z15()
+    model = model or MG1ResponseModel(DiskMechanics(spec), mean_request_bytes=4096)
+    return solve_speed_assignment(
+        heat=np.asarray(heat, dtype=float),
+        num_disks=num_disks,
+        model=model,
+        spec=spec,
+        epoch_seconds=epoch,
+        goal_s=goal,
+        prev_boundaries=prev,
+        config=cfg or SpeedSettingConfig(change_penalty_joules=0.0),
+    )
+
+
+def uniform_heat(num_extents=80, total_rate=40.0):
+    return np.full(num_extents, total_rate / num_extents)
+
+
+def test_boundaries_well_formed():
+    a = solve(uniform_heat(), goal=0.05)
+    assert a.boundaries[0] == 0
+    assert a.boundaries[-1] == 4
+    assert list(a.boundaries) == sorted(a.boundaries)
+    assert sum(a.counts) == 4
+    assert len(a.extent_boundaries) == len(a.boundaries)
+    assert a.extent_boundaries[-1] == 80
+
+
+def test_near_zero_load_all_slowest():
+    a = solve(np.full(80, 1e-6), goal=1.0)
+    assert a.counts[-1] == 4  # everything in the slowest tier
+    assert a.feasible
+
+
+def test_tight_goal_forces_full_speed():
+    """A goal just above the full-speed response leaves no room for any
+    slower tier: the optimizer must keep every disk at full speed, and
+    feasibly so (no fallback)."""
+    model = MG1ResponseModel(DiskMechanics(ultrastar_36z15()), mean_request_bytes=4096)
+    rate = 100.0
+    r_full = model.response_time(15000, rate / 4)
+    a = solve(
+        uniform_heat(total_rate=rate),
+        goal=r_full * 1.01,
+        model=model,
+        cfg=SpeedSettingConfig(change_penalty_joules=0.0, goal_margin=0.0),
+    )
+    assert a.counts[0] == 4  # all disks at full speed
+    assert a.feasible
+
+
+def test_loose_goal_saves_energy():
+    tight = solve(uniform_heat(), goal=0.007)
+    loose = solve(uniform_heat(), goal=0.05)
+    assert loose.predicted_energy_joules < tight.predicted_energy_joules
+
+
+def test_energy_monotone_in_slack():
+    energies = [
+        solve(uniform_heat(total_rate=80.0), goal=g).predicted_energy_joules
+        for g in (0.008, 0.012, 0.02, 0.05)
+    ]
+    assert energies == sorted(energies, reverse=True)
+
+
+def test_predicted_response_within_planning_goal():
+    goal = 0.02
+    cfg = SpeedSettingConfig(change_penalty_joules=0.0, goal_margin=0.1)
+    a = solve(uniform_heat(total_rate=100.0), goal=goal, cfg=cfg)
+    assert a.feasible
+    assert a.predicted_response_s <= goal * 0.9 + 1e-12
+
+
+def test_infeasible_falls_back_to_full_speed():
+    # A goal below the fastest service time is unmeetable.
+    a = solve(uniform_heat(total_rate=100.0), goal=1e-4)
+    assert not a.feasible
+    assert a.counts[0] == 4
+
+
+def test_no_goal_minimizes_energy_with_stability():
+    a = solve(uniform_heat(total_rate=4.0), goal=None)
+    assert a.feasible
+    # With negligible load and no goal, everything crawls.
+    assert a.counts[-1] == 4
+
+
+def test_overload_without_goal_keeps_stability():
+    """Load that saturates the slowest speed must not be assigned there."""
+    spec = ultrastar_36z15()
+    model = MG1ResponseModel(DiskMechanics(spec), mean_request_bytes=4096)
+    slow_capacity = 1.0 / model.moments(3000).mean  # per-disk rate at rho=1
+    heat = uniform_heat(total_rate=4 * slow_capacity * 0.99)
+    a = solve(heat, goal=None, model=model, spec=spec)
+    assert a.feasible
+    for p in a.predictions:
+        if p.tier_lambda > 0:
+            assert p.utilization < model.max_utilization
+
+
+def test_skewed_heat_uses_tiers():
+    """With strong skew and moderate slack, the optimizer should split
+    the array: a small fast tier for the hot extents, slow tier for the
+    cold tail."""
+    heat = np.zeros(80)
+    heat[:8] = 10.0    # 80 req/s concentrated on 10% of extents
+    heat[8:] = 0.05
+    a = solve(heat, goal=0.015)
+    assert a.feasible
+    used_speeds = [rpm for rpm, c in zip(a.speeds_desc, a.counts) if c > 0]
+    assert len(used_speeds) >= 2
+    assert used_speeds[0] > used_speeds[-1]
+
+
+def test_matches_brute_force_enumeration():
+    """The DFS with pruning must be exactly optimal over all candidate
+    partitions (verified against plain itertools enumeration)."""
+    spec = ultrastar_36z15(3)
+    model = MG1ResponseModel(DiskMechanics(spec), mean_request_bytes=4096)
+    rng = np.random.default_rng(5)
+    heat = rng.exponential(0.8, size=40)
+    goal = 0.018
+    num_disks = 4
+    a = solve(heat, num_disks=num_disks, model=model, goal=goal, spec=spec)
+
+    speeds_desc = tuple(sorted(spec.rpm_levels, reverse=True))
+    sorted_heat = np.sort(heat)[::-1]
+    prefix = np.concatenate(([0.0], np.cumsum(sorted_heat)))
+    total = prefix[-1]
+    share = len(heat) / num_disks
+
+    def evaluate(bounds):
+        energy, weighted = 0.0, 0.0
+        for t in range(len(speeds_desc)):
+            lo, hi = bounds[t], bounds[t + 1]
+            if hi == lo:
+                continue
+            e_lo = int(round(lo * share))
+            e_hi = len(heat) if hi == num_disks else int(round(hi * share))
+            lam = prefix[e_hi] - prefix[e_lo]
+            per = lam / (hi - lo)
+            m = model.moments(speeds_desc[t])
+            rho = per * m.mean
+            if lam > 0 and rho >= model.max_utilization:
+                return None
+            r = m.mean + (per * m.second / (2 * (1 - rho)) if lam > 0 else 0.0)
+            weighted += lam * r
+            energy += (hi - lo) * spec.idle_watts(speeds_desc[t]) * 3600.0
+            energy += lam * m.mean * spec.seek_watts * 3600.0
+        if weighted > goal * (1 - 0.1) * total:
+            return None
+        return energy
+
+    best = math.inf
+    for bounds_mid in itertools.combinations_with_replacement(
+        range(num_disks + 1), len(speeds_desc) - 1
+    ):
+        bounds = (0,) + bounds_mid + (num_disks,)
+        if list(bounds) != sorted(bounds):
+            continue
+        energy = evaluate(bounds)
+        if energy is not None and energy < best:
+            best = energy
+    assert a.feasible
+    assert a.predicted_energy_joules == pytest.approx(best)
+
+
+def test_change_penalty_prefers_staying_put():
+    """With a huge reconfiguration penalty, the optimizer should keep
+    the previous boundaries when they remain feasible."""
+    heat = uniform_heat(total_rate=40.0)
+    free = solve(heat, goal=0.02)
+    prev = tuple(b + 1 if 0 < b < 4 else b for b in free.boundaries)
+    prev = tuple(min(b, 4) for b in prev)
+    pinned = solve(
+        heat, goal=0.02, prev=prev,
+        cfg=SpeedSettingConfig(change_penalty_joules=1e12),
+    )
+    assert pinned.boundaries == prev
+
+
+def test_describe_format():
+    a = solve(uniform_heat(), goal=0.05)
+    desc = a.describe()
+    assert "@" in desc
+    total = sum(int(part.split("@")[0]) for part in desc.split("+"))
+    assert total == 4
+
+
+def test_rpm_for_position_consistent():
+    a = solve(uniform_heat(total_rate=100.0), goal=0.015)
+    speeds = [a.rpm_for_position(p) for p in range(4)]
+    assert speeds == sorted(speeds, reverse=True)
+    with pytest.raises(ValueError):
+        a.rpm_for_position(4)
+
+
+def test_input_validation(model):
+    spec = ultrastar_36z15()
+    with pytest.raises(ValueError):
+        solve_speed_assignment(np.array([]), 4, model, spec, 3600.0, 0.01)
+    with pytest.raises(ValueError):
+        solve_speed_assignment(np.ones(4), 0, model, spec, 3600.0, 0.01)
+    with pytest.raises(ValueError):
+        solve_speed_assignment(np.ones(4), 4, model, spec, 0.0, 0.01)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SpeedSettingConfig(change_penalty_joules=-1.0)
+    with pytest.raises(ValueError):
+        SpeedSettingConfig(goal_margin=1.0)
+
+
+def test_single_speed_spec_degenerates():
+    spec = ultrastar_36z15().with_levels((15000,))
+    a = solve(uniform_heat(), goal=0.05, spec=spec)
+    assert a.counts == (4,)
+    assert a.feasible

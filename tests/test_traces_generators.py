@@ -1,0 +1,123 @@
+"""Unit tests for the OLTP and Cello99-style generators: each must show
+the first-order characteristics the substitution note promises."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.cello import CelloConfig, diurnal_envelope, generate_cello
+from repro.traces.oltp import OltpConfig, generate_oltp
+
+
+class TestOltp:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_oltp(OltpConfig(duration=1800.0, rate=300.0,
+                                        num_extents=600, seed=2))
+
+    def test_steady_rate(self, trace):
+        """OLTP has no diurnal valley: hourly windows stay near the mean."""
+        counts, _ = np.histogram(trace.times, bins=6, range=(0, 1800))
+        rates = counts / 300.0
+        assert rates.min() > 0.85 * rates.mean()
+        assert rates.max() < 1.15 * rates.mean()
+
+    def test_read_mostly(self, trace):
+        assert trace.read_fraction == pytest.approx(0.66, abs=0.02)
+
+    def test_small_requests(self, trace):
+        assert set(np.unique(trace.sizes)) == {4096, 8192}
+        assert trace.sizes.mean() < 6000
+
+    def test_popularity_skewed(self, trace):
+        counts = np.bincount(trace.extents, minlength=600)
+        top = np.sort(counts)[::-1]
+        top10_share = top[:60].sum() / counts.sum()
+        assert top10_share > 0.35  # hot tenth carries well over its share
+
+    def test_reproducible(self):
+        cfg = OltpConfig(duration=60.0, seed=4)
+        a, b = generate_oltp(cfg), generate_oltp(cfg)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.extents, b.extents)
+
+    def test_default_config(self):
+        trace = generate_oltp(OltpConfig(duration=120.0))
+        assert trace.name == "oltp"
+        assert len(trace) > 0
+
+
+class TestCello:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_cello(CelloConfig(days=1.0, day_rate=80.0, night_rate=4.0,
+                                          num_extents=600, seed=3))
+
+    def test_diurnal_valley(self, trace):
+        """Night-time (around peak_hour + 12h) must be far quieter than
+        the daytime peak — the energy opportunity the generator exists
+        to model."""
+        hours = trace.times / 3600.0
+        counts, _ = np.histogram(hours, bins=24, range=(0, 24))
+        assert counts.min() < 0.25 * counts.max()
+
+    def test_peak_near_configured_hour(self, trace):
+        hours = trace.times / 3600.0
+        counts, _ = np.histogram(hours, bins=24, range=(0, 24))
+        peak_hour = int(np.argmax(counts))
+        assert abs(peak_hour - 14) <= 2
+
+    def test_mixed_sizes(self, trace):
+        assert len(np.unique(trace.sizes)) >= 3
+        assert trace.sizes.max() >= 65536
+
+    def test_multiday_drift(self):
+        """The hot set must move between days."""
+        cfg = CelloConfig(days=2.0, day_rate=60.0, night_rate=5.0,
+                          num_extents=400, drift_per_day=0.2, seed=7)
+        trace = generate_cello(cfg)
+        day1 = trace.slice_time(0, 86400.0)
+        day2 = trace.slice_time(86400.0, 2 * 86400.0)
+        c1 = np.bincount(day1.extents, minlength=400)
+        c2 = np.bincount(day2.extents, minlength=400)
+        top1 = set(np.argsort(c1)[-40:])
+        top2 = set(np.argsort(c2)[-40:])
+        assert len(top1 & top2) < 40  # not identical hot sets
+
+    def test_reproducible(self):
+        cfg = CelloConfig(days=0.05, seed=5)
+        a, b = generate_cello(cfg), generate_cello(cfg)
+        assert np.array_equal(a.times, b.times)
+
+    def test_burstiness(self):
+        """With bursts on, short-window rate variance must exceed the
+        Poisson baseline."""
+        quiet = CelloConfig(days=0.2, day_rate=100.0, night_rate=100.0,
+                            burst_fraction=0.0, seed=11)
+        bursty = CelloConfig(days=0.2, day_rate=100.0, night_rate=100.0,
+                             burst_fraction=0.4, burst_intensity=3.0, seed=11)
+        def window_cv(trace):
+            counts, _ = np.histogram(trace.times, bins=100,
+                                     range=(0, 0.2 * 86400))
+            return counts.std() / counts.mean()
+        assert window_cv(generate_cello(bursty)) > 1.5 * window_cv(generate_cello(quiet))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CelloConfig(day_rate=10.0, night_rate=20.0)
+        with pytest.raises(ValueError):
+            CelloConfig(burst_fraction=1.5)
+        with pytest.raises(ValueError):
+            CelloConfig(burst_intensity=0.5)
+
+
+def test_diurnal_envelope_bounds():
+    cfg = CelloConfig(day_rate=100.0, night_rate=10.0)
+    rate = diurnal_envelope(cfg)
+    t = np.linspace(0, 86400, 1000)
+    values = rate(t)
+    assert values.max() == pytest.approx(100.0, rel=0.01)
+    assert values.min() == pytest.approx(10.0, rel=0.01)
+    peak_t = t[np.argmax(values)]
+    assert peak_t / 3600 == pytest.approx(14.0, abs=0.2)

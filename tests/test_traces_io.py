@@ -1,0 +1,90 @@
+"""Unit tests for trace file I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.io import TraceFormatError, load_trace, save_trace
+from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+
+
+@pytest.fixture
+def trace():
+    return generate_synthetic(SyntheticConfig(duration=5.0, rate=40.0,
+                                              num_extents=32, seed=8))
+
+
+def test_roundtrip(tmp_path, trace):
+    path = tmp_path / "trace.csv"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == trace.name
+    assert loaded.num_extents == trace.num_extents
+    assert np.allclose(loaded.times, trace.times)
+    assert np.array_equal(loaded.kinds, trace.kinds)
+    assert np.array_equal(loaded.extents, trace.extents)
+    assert np.array_equal(loaded.sizes, trace.sizes)
+
+
+def test_gzip_roundtrip(tmp_path, trace):
+    path = tmp_path / "trace.csv.gz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(trace)
+    # File must actually be gzip.
+    with open(path, "rb") as fh:
+        assert fh.read(2) == b"\x1f\x8b"
+
+
+def test_missing_magic_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("time,kind,extent,offset,size\n")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_bad_kind_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text(
+        "# repro-trace v1 name=x num_extents=4\n"
+        "time,kind,extent,offset,size\n"
+        "0.5,Q,1,0,4096\n"
+    )
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_wrong_field_count_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text(
+        "# repro-trace v1 name=x num_extents=4\n"
+        "time,kind,extent,offset,size\n"
+        "0.5,R,1\n"
+    )
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_missing_num_extents_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("# repro-trace v1 name=x\ntime,kind,extent,offset,size\n")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_unexpected_columns_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("# repro-trace v1 name=x num_extents=4\na,b\n")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    from repro.traces.model import TraceBuilder
+
+    path = tmp_path / "empty.csv"
+    save_trace(TraceBuilder("empty", 8).build(), path)
+    loaded = load_trace(path)
+    assert len(loaded) == 0
+    assert loaded.num_extents == 8

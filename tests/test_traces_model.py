@@ -1,0 +1,109 @@
+"""Unit tests for trace containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.request import IoKind
+from repro.traces.model import Trace, TraceBuilder, trace_from_columns
+from tests.conftest import make_trace
+
+
+def test_builder_roundtrip():
+    b = TraceBuilder("t", num_extents=10)
+    b.add(0.0, IoKind.READ, 3, 0, 4096)
+    b.add(1.5, IoKind.WRITE, 7, 512, 8192)
+    trace = b.build()
+    assert len(trace) == 2
+    first, second = trace[0], trace[1]
+    assert first.kind is IoKind.READ and first.extent == 3
+    assert second.kind is IoKind.WRITE and second.size == 8192
+    assert trace.duration == 1.5
+
+
+def test_builder_rejects_out_of_order():
+    b = TraceBuilder("t", num_extents=10)
+    b.add(2.0, IoKind.READ, 0, 0, 4096)
+    with pytest.raises(ValueError):
+        b.add(1.0, IoKind.READ, 0, 0, 4096)
+
+
+def test_trace_rejects_unsorted_times():
+    with pytest.raises(ValueError):
+        trace_from_columns(
+            "t", 10,
+            times=np.array([2.0, 1.0]),
+            read_mask=np.array([True, True]),
+            extents=np.array([0, 1]),
+            sizes=np.array([4096, 4096]),
+        )
+
+
+def test_trace_rejects_extent_out_of_range():
+    with pytest.raises(ValueError):
+        trace_from_columns(
+            "t", 4,
+            times=np.array([1.0]),
+            read_mask=np.array([True]),
+            extents=np.array([4]),
+            sizes=np.array([4096]),
+        )
+
+
+def test_trace_rejects_ragged_columns():
+    with pytest.raises(ValueError):
+        Trace(
+            "t", 4,
+            times=np.array([1.0, 2.0]),
+            kinds=np.array([0], dtype=np.int8),
+            extents=np.array([0, 1]),
+            offsets=np.array([0, 0]),
+            sizes=np.array([4096, 4096]),
+        )
+
+
+def test_read_fraction():
+    trace = make_trace([0.0, 1.0, 2.0, 3.0],
+                       kinds=[IoKind.READ, IoKind.READ, IoKind.READ, IoKind.WRITE])
+    assert trace.read_fraction == pytest.approx(0.75)
+
+
+def test_empty_trace():
+    trace = TraceBuilder("empty", 10).build()
+    assert len(trace) == 0
+    assert trace.duration == 0.0
+    assert trace.read_fraction == 0.0
+    assert list(trace) == []
+
+
+def test_iteration_matches_indexing():
+    trace = make_trace([0.0, 0.5, 1.0], extents=[1, 2, 3])
+    items = list(trace)
+    assert [r.extent for r in items] == [1, 2, 3]
+    assert items[1] == trace[1]
+
+
+def test_slice_time_half_open():
+    trace = make_trace([0.0, 1.0, 2.0, 3.0], extents=[0, 1, 2, 3])
+    sliced = trace.slice_time(1.0, 3.0)
+    assert [r.extent for r in sliced] == [1, 2]
+    assert [r.time for r in sliced] == [1.0, 2.0]  # times preserved
+
+
+def test_scaled_rate_compresses_times():
+    trace = make_trace([0.0, 2.0, 4.0])
+    fast = trace.scaled_rate(2.0)
+    assert list(fast.times) == [0.0, 1.0, 2.0]
+    assert len(fast) == len(trace)
+
+
+def test_scaled_rate_validates():
+    with pytest.raises(ValueError):
+        make_trace([0.0]).scaled_rate(0.0)
+
+
+def test_columns_are_immutable():
+    trace = make_trace([0.0, 1.0])
+    with pytest.raises(ValueError):
+        trace.times[0] = 5.0

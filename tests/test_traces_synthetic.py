@@ -1,0 +1,179 @@
+"""Unit tests for the synthetic workload toolkit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import (
+    SizeMix,
+    SyntheticConfig,
+    ZipfPopularity,
+    generate_synthetic,
+    interleave_traces,
+    modulated_poisson_arrivals,
+    poisson_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_rate_matches(self, rng):
+        times = poisson_arrivals(100.0, 100.0, rng)
+        assert len(times) == pytest.approx(10_000, rel=0.05)
+
+    def test_sorted_and_bounded(self, rng):
+        times = poisson_arrivals(50.0, 10.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0 and times[-1] < 10.0
+
+    def test_zero_rate(self, rng):
+        assert len(poisson_arrivals(0.0, 10.0, rng)) == 0
+
+    def test_zero_duration(self, rng):
+        assert len(poisson_arrivals(10.0, 0.0, rng)) == 0
+
+    def test_negative_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1.0, 10.0, rng)
+
+    def test_exponential_gaps(self, rng):
+        times = poisson_arrivals(200.0, 200.0, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(1 / 200.0, rel=0.05)
+        # CV of exponential is 1.
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, rel=0.1)
+
+
+class TestModulatedPoisson:
+    def test_constant_rate_fn_matches_homogeneous(self, rng):
+        times = modulated_poisson_arrivals(lambda t: np.full_like(t, 50.0), 100.0, 100.0, rng)
+        assert len(times) == pytest.approx(5000, rel=0.1)
+
+    def test_zero_phase_has_no_arrivals(self, rng):
+        def rate(t):
+            return np.where(np.asarray(t) < 50.0, 0.0, 80.0)
+        times = modulated_poisson_arrivals(rate, 80.0, 100.0, rng)
+        assert np.all(times >= 50.0)
+        assert len(times) == pytest.approx(4000, rel=0.1)
+
+    def test_rate_escape_raises(self, rng):
+        with pytest.raises(ValueError):
+            modulated_poisson_arrivals(lambda t: np.full_like(t, 20.0), 10.0, 10.0, rng)
+
+    def test_peak_rate_validated(self, rng):
+        with pytest.raises(ValueError):
+            modulated_poisson_arrivals(lambda t: t, 0.0, 10.0, rng)
+
+
+class TestZipfPopularity:
+    def test_probabilities_sum_to_one(self, rng):
+        z = ZipfPopularity(100, theta=0.9, rng=rng)
+        assert z.probabilities.sum() == pytest.approx(1.0)
+        assert z.extent_probability().sum() == pytest.approx(1.0)
+
+    def test_theta_zero_is_uniform(self, rng):
+        z = ZipfPopularity(50, theta=0.0, rng=rng)
+        assert np.allclose(z.probabilities, 1 / 50)
+
+    def test_skew_increases_with_theta(self, rng):
+        flat = ZipfPopularity(100, 0.2, rng)
+        steep = ZipfPopularity(100, 1.2, rng)
+        assert steep.probabilities[0] > flat.probabilities[0]
+
+    def test_sample_frequencies_match_probabilities(self, rng):
+        z = ZipfPopularity(20, theta=1.0, rng=rng, scatter=False)
+        samples = z.sample(200_000, rng)
+        counts = np.bincount(samples, minlength=20) / 200_000
+        assert np.allclose(counts, z.probabilities, atol=0.01)
+
+    def test_scatter_spreads_hot_extents(self, rng):
+        z = ZipfPopularity(1000, theta=1.0, rng=rng, scatter=True)
+        probs = z.extent_probability()
+        # Hottest extent should (almost surely) not be extent 0.
+        hot = int(np.argmax(probs))
+        assert probs.sum() == pytest.approx(1.0)
+        assert z.rank_to_extent[0] == hot
+
+    def test_rotate_shifts_mapping(self, rng):
+        z = ZipfPopularity(10, theta=1.0, rng=rng, scatter=False)
+        before = z.rank_to_extent.copy()
+        z.rotate(3)
+        assert list(z.rank_to_extent) == list(np.roll(before, 3))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ZipfPopularity(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ZipfPopularity(10, -0.5, rng)
+
+
+class TestSizeMix:
+    def test_mean(self):
+        mix = SizeMix(sizes=(4096, 8192), weights=(1.0, 1.0))
+        assert mix.mean == pytest.approx(6144)
+
+    def test_sample_distribution(self, rng):
+        mix = SizeMix(sizes=(4096, 8192), weights=(3.0, 1.0))
+        samples = mix.sample(40_000, rng)
+        assert np.mean(samples == 4096) == pytest.approx(0.75, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeMix(sizes=(), weights=())
+        with pytest.raises(ValueError):
+            SizeMix(sizes=(4096,), weights=(-1.0,))
+        with pytest.raises(ValueError):
+            SizeMix(sizes=(0,), weights=(1.0,))
+        with pytest.raises(ValueError):
+            SizeMix(sizes=(4096, 8192), weights=(1.0,))
+
+
+class TestGenerateSynthetic:
+    def test_basic_properties(self):
+        cfg = SyntheticConfig(duration=100.0, rate=50.0, num_extents=64,
+                              read_fraction=0.7, seed=5)
+        trace = generate_synthetic(cfg)
+        assert trace.num_extents == 64
+        assert trace.duration < 100.0
+        assert len(trace) == pytest.approx(5000, rel=0.1)
+        assert trace.read_fraction == pytest.approx(0.7, abs=0.03)
+
+    def test_seed_reproducibility(self):
+        cfg = SyntheticConfig(duration=50.0, rate=20.0, seed=9)
+        a = generate_synthetic(cfg)
+        b = generate_synthetic(cfg)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.extents, b.extents)
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic(SyntheticConfig(duration=50.0, rate=20.0, seed=1))
+        b = generate_synthetic(SyntheticConfig(duration=50.0, rate=20.0, seed=2))
+        assert not np.array_equal(a.times, b.times)
+
+    def test_rate_fn_modulation(self):
+        cfg = SyntheticConfig(
+            duration=100.0, rate=100.0, seed=3,
+            rate_fn=lambda t: np.where(np.asarray(t) < 50.0, 100.0, 0.0),
+        )
+        trace = generate_synthetic(cfg)
+        assert trace.times[-1] < 50.0
+
+
+def test_interleave_traces():
+    a = generate_synthetic(SyntheticConfig(duration=10.0, rate=20.0, seed=1, num_extents=16))
+    b = generate_synthetic(SyntheticConfig(duration=10.0, rate=20.0, seed=2, num_extents=16))
+    merged = interleave_traces("merged", [a, b])
+    assert len(merged) == len(a) + len(b)
+    assert np.all(np.diff(merged.times) >= 0)
+
+
+def test_interleave_requires_same_address_space():
+    a = generate_synthetic(SyntheticConfig(duration=5.0, rate=10.0, seed=1, num_extents=16))
+    b = generate_synthetic(SyntheticConfig(duration=5.0, rate=10.0, seed=2, num_extents=32))
+    with pytest.raises(ValueError):
+        interleave_traces("bad", [a, b])
+
+
+def test_interleave_empty_list():
+    with pytest.raises(ValueError):
+        interleave_traces("bad", [])

@@ -1,0 +1,78 @@
+"""Unit tests for workload characterization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.request import IoKind
+from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+from repro.traces.tracestats import compute_trace_stats, per_extent_rates
+from tests.conftest import make_trace
+
+
+def test_basic_stats():
+    trace = make_trace([0.0, 1.0, 2.0, 3.0], extents=[0, 0, 1, 2],
+                       kinds=[IoKind.READ, IoKind.WRITE, IoKind.READ, IoKind.READ])
+    stats = compute_trace_stats(trace)
+    assert stats.num_requests == 4
+    assert stats.duration_s == 3.0
+    assert stats.mean_rate == pytest.approx(4 / 3)
+    assert stats.read_fraction == pytest.approx(0.75)
+    assert stats.footprint_extents == 3
+    assert stats.mean_size_bytes == 4096
+
+
+def test_empty_trace_stats():
+    from repro.traces.model import TraceBuilder
+
+    stats = compute_trace_stats(TraceBuilder("e", 8).build())
+    assert stats.num_requests == 0
+    assert stats.footprint_extents == 0
+    assert stats.mean_rate == 0.0
+    assert stats.peak_to_mean_rate == 0.0
+
+
+def test_skew_detection():
+    skewed = generate_synthetic(SyntheticConfig(duration=200.0, rate=100.0,
+                                                num_extents=200, zipf_theta=1.2, seed=1))
+    uniform = generate_synthetic(SyntheticConfig(duration=200.0, rate=100.0,
+                                                 num_extents=200, zipf_theta=0.0, seed=1))
+    assert (compute_trace_stats(skewed).top10pct_access_share
+            > compute_trace_stats(uniform).top10pct_access_share + 0.2)
+
+
+def test_uniform_top10_share_near_tenth():
+    uniform = generate_synthetic(SyntheticConfig(duration=500.0, rate=100.0,
+                                                 num_extents=100, zipf_theta=0.0, seed=2))
+    stats = compute_trace_stats(uniform)
+    assert stats.top10pct_access_share == pytest.approx(0.1, abs=0.03)
+
+
+def test_peak_to_mean_flat_near_one():
+    flat = generate_synthetic(SyntheticConfig(duration=7200.0, rate=50.0, seed=3))
+    stats = compute_trace_stats(flat, window_s=600.0)
+    assert stats.peak_to_mean_rate == pytest.approx(1.0, abs=0.15)
+
+
+def test_rows_render():
+    trace = make_trace([0.0, 1.0])
+    rows = compute_trace_stats(trace).rows()
+    labels = [r[0] for r in rows]
+    assert "mean rate" in labels and "top-10% share" in labels
+    assert all(isinstance(v, str) for _, v in rows)
+
+
+def test_per_extent_rates():
+    trace = make_trace([0.0, 1.0, 2.0, 4.0], extents=[0, 0, 1, 2], num_extents=4)
+    rates = per_extent_rates(trace)
+    assert rates.shape == (4,)
+    assert rates[0] == pytest.approx(2 / 4.0)
+    assert rates[3] == 0.0
+    assert rates.sum() == pytest.approx(4 / 4.0)
+
+
+def test_per_extent_rates_total_matches_mean_rate():
+    trace = generate_synthetic(SyntheticConfig(duration=100.0, rate=80.0, seed=4))
+    rates = per_extent_rates(trace)
+    assert rates.sum() == pytest.approx(len(trace) / trace.duration)

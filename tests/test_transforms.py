@@ -1,0 +1,107 @@
+"""Unit tests for trace transformations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.transforms import (
+    concat,
+    filter_extents,
+    remap_extents,
+    sample_fraction,
+    shift_time,
+)
+from tests.conftest import make_trace
+
+
+def test_shift_time():
+    trace = make_trace([0.0, 1.0, 2.0])
+    shifted = shift_time(trace, 10.0)
+    assert list(shifted.times) == [10.0, 11.0, 12.0]
+    assert len(shifted) == 3
+
+
+def test_shift_before_zero_rejected():
+    with pytest.raises(ValueError):
+        shift_time(make_trace([1.0]), -2.0)
+
+
+def test_concat_orders_phases():
+    a = make_trace([0.0, 5.0], extents=[1, 2])
+    b = make_trace([0.0, 3.0], extents=[3, 4])
+    merged = concat([a, b], gap_s=2.0)
+    assert list(merged.times) == [0.0, 5.0, 7.0, 10.0]
+    assert list(merged.extents) == [1, 2, 3, 4]
+
+
+def test_concat_empty_rejected():
+    with pytest.raises(ValueError):
+        concat([])
+
+
+def test_concat_takes_widest_address_space():
+    a = make_trace([0.0], num_extents=10)
+    b = make_trace([0.0], num_extents=40)
+    assert concat([a, b]).num_extents == 40
+
+
+def test_sample_fraction_thins():
+    trace = make_trace([float(i) for i in range(1000)])
+    thinned = sample_fraction(trace, 0.3, seed=1)
+    assert 200 < len(thinned) < 400
+    assert np.all(np.diff(thinned.times) >= 0)
+
+
+def test_sample_fraction_full_keeps_everything():
+    trace = make_trace([0.0, 1.0, 2.0])
+    assert len(sample_fraction(trace, 1.0, seed=1)) == 3
+
+
+def test_sample_fraction_validation():
+    with pytest.raises(ValueError):
+        sample_fraction(make_trace([0.0]), 0.0)
+
+
+def test_sample_fraction_reproducible():
+    trace = make_trace([float(i) for i in range(100)])
+    a = sample_fraction(trace, 0.5, seed=7)
+    b = sample_fraction(trace, 0.5, seed=7)
+    assert np.array_equal(a.times, b.times)
+
+
+def test_remap_extents():
+    trace = make_trace([0.0, 1.0], extents=[2, 5], num_extents=10)
+    mapping = np.arange(10)[::-1]  # reverse
+    remapped = remap_extents(trace, mapping, num_extents=10)
+    assert list(remapped.extents) == [7, 4]
+
+
+def test_remap_fold_smaller_volume():
+    trace = make_trace([0.0, 1.0, 2.0], extents=[0, 5, 9], num_extents=10)
+    mapping = np.arange(10) % 4
+    folded = remap_extents(trace, mapping, num_extents=4)
+    assert folded.num_extents == 4
+    assert list(folded.extents) == [0, 1, 1]
+
+
+def test_remap_validation():
+    trace = make_trace([0.0], extents=[0], num_extents=10)
+    with pytest.raises(ValueError):
+        remap_extents(trace, np.arange(5), num_extents=10)  # too short
+    with pytest.raises(ValueError):
+        remap_extents(trace, np.full(10, 99), num_extents=10)  # out of range
+
+
+def test_filter_extents():
+    trace = make_trace([0.0, 1.0, 2.0, 3.0], extents=[0, 1, 2, 1], num_extents=10)
+    mask = np.zeros(10, dtype=bool)
+    mask[1] = True
+    filtered = filter_extents(trace, mask)
+    assert list(filtered.extents) == [1, 1]
+    assert list(filtered.times) == [1.0, 3.0]
+
+
+def test_filter_mask_shape_validated():
+    with pytest.raises(ValueError):
+        filter_extents(make_trace([0.0]), np.ones(3, dtype=bool))
