@@ -14,8 +14,10 @@ so they survive pytest's output capture.
 from __future__ import annotations
 
 import functools
+import os
 from pathlib import Path
 
+from repro.analysis.cache import ResultCache
 from repro.analysis.experiments import ComparisonResult, default_array_config, run_comparison
 from repro.analysis.report import format_table
 from repro.core.hibernator import HibernatorConfig
@@ -39,6 +41,26 @@ CELLO_NIGHT_RATE = 3.0
 # comparison runs in about a minute; the day/night shape is preserved.
 CELLO_DAY_LENGTH_S = 4 * 3600.0
 CELLO_EPOCH_S = CELLO_DAY_LENGTH_S / 12.0
+
+
+def bench_jobs() -> int:
+    """Worker processes per comparison (``REPRO_BENCH_JOBS``, default 1).
+
+    Results are identical for any value (runs are pure functions of
+    their specs); only wall-clock time changes.
+    """
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def bench_cache() -> ResultCache | None:
+    """On-disk result cache shared by the suite (``REPRO_BENCH_CACHE``).
+
+    Point the variable at a directory to make repeated suite runs skip
+    already-simulated (trace, array, policy, goal) configurations.
+    Unset (the default) disables caching.
+    """
+    path = os.environ.get("REPRO_BENCH_CACHE", "")
+    return ResultCache(path) if path else None
 
 
 def bench_oltp_trace():
@@ -76,6 +98,7 @@ def oltp_comparison() -> ComparisonResult:
     return run_comparison(
         bench_oltp_trace(), bench_array_config(), slack=SLACK,
         hibernator_config=bench_hibernator_config(),
+        jobs=bench_jobs(), cache=bench_cache(),
     )
 
 
@@ -89,6 +112,7 @@ def cello_comparison() -> ComparisonResult:
     return run_comparison(
         bench_cello_trace(), bench_array_config(), slack=SLACK,
         hibernator_config=bench_hibernator_config(epoch_seconds=CELLO_EPOCH_S),
+        jobs=bench_jobs(), cache=bench_cache(),
     )
 
 

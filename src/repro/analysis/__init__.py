@@ -3,12 +3,17 @@
 * :mod:`repro.analysis.experiments` -- run policy comparisons the way
   the paper does: Base first (defines the goal), then every scheme on
   the identical trace and array.
+* :mod:`repro.analysis.parallel` -- picklable run specs, process fan-out
+  and the determinism guarantee behind ``jobs=``.
+* :mod:`repro.analysis.cache` -- on-disk memoization of run results
+  keyed by spec content plus a code-version tag.
 * :mod:`repro.analysis.energy` -- unit helpers and savings arithmetic.
 * :mod:`repro.analysis.report` -- plain-text tables/series formatting
   shared by the benchmarks and examples.
 * :mod:`repro.analysis.sweeps` -- one-dimensional parameter sweeps.
 """
 
+from repro.analysis.cache import CODE_VERSION, ResultCache, content_key
 from repro.analysis.energy import joules_to_kwh, savings_fraction
 from repro.analysis.experiments import (
     ComparisonResult,
@@ -18,7 +23,15 @@ from repro.analysis.experiments import (
     run_single,
     standard_policies,
 )
-from repro.analysis.report import format_series, format_table
+from repro.analysis.parallel import (
+    PolicySpec,
+    RunSpec,
+    TraceSpec,
+    execute,
+    execute_one,
+    run_spec,
+)
+from repro.analysis.report import format_count, format_duration, format_series, format_table
 from repro.analysis.sweeps import SweepPoint, sweep
 
 __all__ = [
@@ -30,8 +43,19 @@ __all__ = [
     "run_comparison",
     "run_single",
     "standard_policies",
+    "CODE_VERSION",
+    "ResultCache",
+    "content_key",
+    "PolicySpec",
+    "RunSpec",
+    "TraceSpec",
+    "execute",
+    "execute_one",
+    "run_spec",
     "format_table",
     "format_series",
+    "format_count",
+    "format_duration",
     "SweepPoint",
     "sweep",
 ]

@@ -38,6 +38,32 @@ def format_series(
     return format_table([x_label, y_label], rows, title=name)
 
 
+def format_duration(seconds: float) -> str:
+    """Human-scaled wall-clock duration (``'740 us'``, ``'1.24 s'``)."""
+    if seconds < 0:
+        return f"-{format_duration(-seconds)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def format_count(value: float) -> str:
+    """Compact count/rate (``'982'``, ``'45.1k'``, ``'2.30M'``)."""
+    if value < 0:
+        return f"-{format_count(-value)}"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e4:
+        return f"{value / 1e3:.1f}k"
+    if value == int(value):
+        return f"{int(value)}"
+    return f"{value:.1f}"
+
+
 def format_kv(title: str, pairs: Iterable[tuple[str, str]]) -> str:
     """Aligned key/value block (used for parameter tables)."""
     pairs = list(pairs)

@@ -6,7 +6,9 @@ Drive the library without writing Python::
     python -m repro trace-stats oltp.csv
     python -m repro run --policy hibernator --trace oltp.csv --slack 2.0
     python -m repro compare --trace oltp.csv --slack 2.0
+    python -m repro compare --trace oltp.csv --jobs 4 --cache-dir .repro-cache
     python -m repro sweep-slack --trace oltp.csv --slacks 1.5,2,3
+    python -m repro cache --cache-dir .repro-cache --clear
 
 Traces can come from a file (``--trace``) or be generated inline with
 the same knobs as ``gen-trace``. All commands print plain-text tables.
@@ -23,7 +25,6 @@ from repro.analysis.experiments import (
     default_array_config,
     run_comparison,
     run_single,
-    standard_policies,
 )
 from repro.analysis.report import format_kv, format_series, format_table
 from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
@@ -56,6 +57,30 @@ def _add_trace_source(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--extents", type=int, default=800,
                         help="logical extents in the volume")
     parser.add_argument("--seed", type=int, default=1, help="generator seed")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for independent runs "
+                             "(metrics are identical for any value; default 1)")
+    parser.add_argument("--cache-dir",
+                        help="directory for the on-disk result cache; "
+                             "repeated identical runs are served from it")
+
+
+def _make_cache(args: argparse.Namespace):
+    if not getattr(args, "cache_dir", None):
+        return None
+    from repro.analysis.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
 
 
 def _add_array_options(parser: argparse.ArgumentParser) -> None:
@@ -194,10 +219,12 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     trace = _resolve_trace(args)
     config = _array_config(args, trace.num_extents)
+    cache = _make_cache(args)
     comparison = run_comparison(
         trace, config, slack=args.slack,
         hibernator_config=HibernatorConfig(epoch_seconds=args.epoch,
                                            migration=args.migration),
+        jobs=args.jobs, cache=cache,
     )
     if args.json:
         from repro.analysis.export import comparison_to_dict, write_json
@@ -213,29 +240,65 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(format_table(ComparisonResult.HEADERS, comparison.rows(),
                            title=f"{trace.name}: scheme comparison "
                                  f"(goal {comparison.goal_s * 1e3:.2f} ms)"))
+        print()
+        print(format_table(ComparisonResult.RUNTIME_HEADERS, comparison.runtime_rows(),
+                           title="run cost (simulation wall clock per scheme)"))
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+              f"{stats['stores']} stored, {stats['entries']} entr(ies) on disk")
     return 0
 
 
 def cmd_sweep_slack(args: argparse.Namespace) -> int:
+    from repro.analysis.parallel import PolicySpec, RunSpec, TraceSpec, execute, execute_one
+
     trace = _resolve_trace(args)
     config = _array_config(args, trace.num_extents)
-    base = run_single(trace, config, AlwaysOnPolicy())
     slacks = [float(s) for s in args.slacks.split(",")]
-    points = []
     for slack in slacks:
         if slack < 1.0:
             raise SystemExit(f"slack {slack} below 1.0 is unmeetable")
-        goal = slack * base.mean_response_s
-        policy = standard_policies(
-            trace, config, HibernatorConfig(epoch_seconds=args.epoch,
-                                            migration=args.migration),
-        )[-1][0]
-        result = run_single(trace, config, policy, goal_s=goal)
-        points.append((slack, 100.0 * result.energy_savings_vs(base)))
+    cache = _make_cache(args)
+    trace_spec = TraceSpec.from_trace(trace)
+    base = execute_one(
+        RunSpec(trace=trace_spec, array=config, policy=PolicySpec.named("base")),
+        cache=cache,
+    )
+    hib_cfg = HibernatorConfig(epoch_seconds=args.epoch, migration=args.migration)
+    specs = [
+        RunSpec(
+            trace=trace_spec,
+            array=config,
+            policy=PolicySpec.named("hibernator", config=hib_cfg),
+            goal_s=slack * base.mean_response_s,
+        )
+        for slack in slacks
+    ]
+    results = execute(specs, jobs=args.jobs, cache=cache)
+    points = [(slack, 100.0 * result.energy_savings_vs(base))
+              for slack, result in zip(slacks, results)]
     print(format_series(
         f"{trace.name}: Hibernator savings vs slack",
         points, x_label="slack", y_label="savings %",
     ))
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.analysis.cache import CODE_VERSION, ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    entries = len(cache)
+    print(format_kv(f"== result cache at {cache.root} ==", [
+        ("entries", str(entries)),
+        ("size", f"{cache.size_bytes() / 1024.0:.1f} KiB"),
+        ("code version", CODE_VERSION),
+    ]))
     return 0
 
 
@@ -280,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="shuffle")
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.add_argument("--csv", help="write per-scheme CSV to this path")
+    _add_parallel_options(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep-slack", help="Hibernator savings across goals")
@@ -290,7 +354,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epoch", type=float, default=600.0)
     p.add_argument("--migration", choices=("shuffle", "sorted", "none"),
                    default="shuffle")
+    _add_parallel_options(p)
     p.set_defaults(func=cmd_sweep_slack)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
+    p.add_argument("--cache-dir", required=True, help="cache directory")
+    p.add_argument("--clear", action="store_true", help="delete every cached result")
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

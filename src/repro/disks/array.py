@@ -68,6 +68,15 @@ class ArrayConfig:
     write_cache: bool = False
     write_cache_latency_s: float = 1e-4
 
+    def __post_init__(self) -> None:
+        # Validate at construction so a zero-disk config fails loudly
+        # here instead of as a ZeroDivisionError deep inside the
+        # simulator (e.g. ArraySimulation's speed sampling).
+        if self.num_disks < 1:
+            raise ValueError(f"ArrayConfig.num_disks must be >= 1, got {self.num_disks!r}")
+        if self.num_extents < 1:
+            raise ValueError(f"ArrayConfig.num_extents must be >= 1, got {self.num_extents!r}")
+
     @property
     def slots_per_disk(self) -> int:
         if self.slots_override is not None:

@@ -78,6 +78,10 @@ class Engine:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        #: Lifetime count of callbacks executed, across all run() calls.
+        #: Deterministic for a given simulation, so it doubles as a
+        #: cheap progress/throughput metric (events per wall-second).
+        self.events_executed = 0
 
     @property
     def now(self) -> float:
@@ -120,7 +124,8 @@ class Engine:
 
         Args:
             until: stop once the next event would fire after this time
-                (the clock is advanced to ``until`` when given).
+                (the clock advances to ``until`` when the loop drains,
+                but not when ``stop`` or ``max_events`` ends it early).
             max_events: safety valve; stop after this many callbacks.
             stop: optional predicate checked after every callback; the
                 loop exits as soon as it returns True (used to end a run
@@ -134,6 +139,12 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         executed = 0
+        # True when the loop ran out of work at or before `until` (queue
+        # empty, or the next event lies beyond the horizon). Only then may
+        # the clock fast-forward to `until`; an early exit via `stop` or
+        # `max_events` must leave the clock at the last executed event, or
+        # the energy-accounting window silently stretches.
+        drained = True
         try:
             while self._heap:
                 head = self._heap[0]
@@ -143,16 +154,19 @@ class Engine:
                 if until is not None and head.time > until:
                     break
                 if max_events is not None and executed >= max_events:
+                    drained = False
                     break
                 heapq.heappop(self._heap)
                 self._now = head.time
                 head.callback(*head.args)
                 executed += 1
+                self.events_executed += 1
                 if stop is not None and stop():
+                    drained = False
                     break
         finally:
             self._running = False
-        if until is not None and self._now < until:
+        if until is not None and drained and self._now < until:
             self._now = until
         return executed
 

@@ -12,6 +12,7 @@ event heap stays small regardless of trace length.
 
 from __future__ import annotations
 
+import time
 import typing
 from dataclasses import dataclass, field
 
@@ -148,6 +149,10 @@ class ArraySimulation:
         self._outstanding -= 1
         if request.failed:
             self.failed_requests += 1
+            # No latency to record, but the policy must still see the
+            # completion (request.failed is set) or outstanding-request
+            # accounting leaks on degraded-mode runs.
+            self.policy.on_request_complete(request)
             return
         latency = request.latency
         self.latency.add(latency)
@@ -185,7 +190,10 @@ class ArraySimulation:
         # Stop as soon as every foreground request has completed:
         # lingering periodic timers (epoch boundaries, idle timers,
         # samplers) must not stretch the energy-accounting window.
+        wall_start = time.perf_counter()
         self.engine.run(stop=self._drained)
+        wall_s = time.perf_counter() - wall_start
+        events = self.engine.events_executed
         end = max(self.engine.now, self.trace.duration)
         self.policy.on_finish(end)
         energy = 0.0
@@ -199,6 +207,15 @@ class ArraySimulation:
             speed_changes += disk.speed_changes
         windows = self._latency_windows.finish(end) if self._latency_windows else []
         has_latency = self.latency.n > 0
+        extras = dict(self.policy.extras())
+        # Run instrumentation. runtime_events is deterministic (a pure
+        # function of the spec); the wall-clock figures are the only
+        # result fields that vary between repeats, so consumers that
+        # compare results for identity must strip the runtime_* keys
+        # (see repro.analysis.parallel).
+        extras["runtime_events"] = float(events)
+        extras["runtime_wall_s"] = wall_s
+        extras["runtime_events_per_s"] = events / wall_s if wall_s > 0 else 0.0
         return SimulationResult(
             trace_name=self.trace.name,
             policy_name=self.policy.name,
@@ -225,5 +242,5 @@ class ArraySimulation:
             latency_windows=windows,
             speed_samples=self._speed_samples,
             power_samples=self._power_samples,
-            extras=dict(self.policy.extras()),
+            extras=extras,
         )

@@ -1,0 +1,113 @@
+"""Unit tests for the on-disk result cache and content keying."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.cache import CODE_VERSION, ResultCache, content_key
+from repro.disks.array import ArrayConfig
+from repro.disks.specs import make_multispeed_spec
+
+
+@dataclasses.dataclass
+class _Spec:
+    a: int
+    b: float
+    tags: tuple[str, ...] = ()
+
+
+class TestContentKey:
+    def test_equal_content_equal_key(self):
+        assert content_key(_Spec(1, 2.5)) == content_key(_Spec(1, 2.5))
+
+    def test_different_content_different_key(self):
+        assert content_key(_Spec(1, 2.5)) != content_key(_Spec(1, 2.6))
+        assert content_key(_Spec(1, 2.5)) != content_key(_Spec(2, 2.5))
+
+    def test_version_changes_key(self):
+        spec = _Spec(1, 2.5)
+        assert content_key(spec, version="a") != content_key(spec, version="b")
+
+    def test_dict_order_irrelevant(self):
+        assert content_key({"x": 1, "y": 2}) == content_key({"y": 2, "x": 1})
+
+    def test_ndarray_content_hashed(self):
+        a = np.arange(10, dtype=np.int64)
+        b = np.arange(10, dtype=np.int64)
+        c = np.arange(10, dtype=np.int64)
+        c[3] = 99
+        assert content_key(a) == content_key(b)
+        assert content_key(a) != content_key(c)
+
+    def test_float_precision_preserved(self):
+        assert content_key(0.1) != content_key(0.1 + 1e-15)
+
+    def test_nested_dataclass(self):
+        spec = make_multispeed_spec(num_levels=3)
+        cfg1 = ArrayConfig(num_disks=4, spec=spec, num_extents=80)
+        cfg2 = ArrayConfig(num_disks=4, spec=make_multispeed_spec(num_levels=3), num_extents=80)
+        assert content_key(cfg1) == content_key(cfg2)
+        cfg3 = dataclasses.replace(cfg1, seed=cfg1.seed + 1)
+        assert content_key(cfg1) != content_key(cfg3)
+
+    def test_unkeyable_object_raises(self):
+        with pytest.raises(TypeError):
+            content_key(object())
+
+    def test_callable_keyed_by_name(self):
+        assert content_key(make_multispeed_spec) == content_key(make_multispeed_spec)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for({"spec": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"energy": 42.0})
+        assert cache.get(key) == {"energy": 42.0}
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "stores": 1}
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put(content_key("x"), [1, 2, 3])
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(content_key("x")) == [1, 2, 3]
+
+    def test_version_tag_isolates_entries(self, tmp_path):
+        old = ResultCache(tmp_path, version="v1")
+        new = ResultCache(tmp_path, version="v2")
+        old.put(old.key_for("spec"), "old-result")
+        assert new.get(new.key_for("spec")) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key_for("a"), 1)
+        cache.put(cache.key_for("b"), 2)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get(cache.key_for("a")) is None
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("spec")
+        cache.put(key, "value")
+        cache._path(key).write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not cache._path(key).exists()
+
+    def test_default_version_is_code_version(self, tmp_path):
+        assert ResultCache(tmp_path).version == CODE_VERSION
+
+    def test_size_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.size_bytes() == 0
+        cache.put(cache.key_for("a"), list(range(100)))
+        assert cache.size_bytes() > 0
+
+    def test_key_for_call_distinguishes_tags(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key_for_call("f", 1) != cache.key_for_call("g", 1)
+        assert cache.key_for_call("f", 1) != cache.key_for_call("f", 2)

@@ -112,3 +112,48 @@ def test_raid5_and_scheduler_flags(tmp_path, capsys):
     assert main(["run", "--trace", str(path), "--policy", "base",
                  "--disks", "4", "--raid5", "--scheduler", "sstf"]) == 0
     assert "Base" in capsys.readouterr().out
+
+
+def test_compare_with_jobs_and_cache(tmp_path, capsys):
+    path = gen(tmp_path)
+    cache_dir = tmp_path / "cache"
+    args = ["compare", "--trace", str(path), "--disks", "4", "--epoch", "30",
+            "--slack", "2.0", "--jobs", "2", "--cache-dir", str(cache_dir)]
+    capsys.readouterr()
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "run cost" in cold
+    assert "0 hit(s)" in cold
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "6 hit(s), 0 miss(es)" in warm
+    # Identical scheme tables from the cold and warm runs.
+    table = lambda out: [l for l in out.splitlines() if l.startswith(("Base", "TPM", "Hibernator"))]
+    assert table(cold) == table(warm)
+
+
+def test_cache_subcommand_stats_and_clear(tmp_path, capsys):
+    path = gen(tmp_path)
+    cache_dir = tmp_path / "cache"
+    assert main(["compare", "--trace", str(path), "--disks", "4", "--epoch", "30",
+                 "--cache-dir", str(cache_dir)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "entries       6" in out
+    assert main(["cache", "--cache-dir", str(cache_dir), "--clear"]) == 0
+    assert "removed 6" in capsys.readouterr().out
+    assert main(["cache", "--cache-dir", str(cache_dir)]) == 0
+    assert "entries       0" in capsys.readouterr().out
+
+
+def test_sweep_slack_jobs_matches_sequential(tmp_path, capsys):
+    path = gen(tmp_path)
+    base_args = ["sweep-slack", "--trace", str(path), "--disks", "4",
+                 "--epoch", "30", "--slacks", "1.5,3.0"]
+    capsys.readouterr()
+    assert main(base_args) == 0
+    sequential = capsys.readouterr().out
+    assert main(base_args + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert sequential == parallel

@@ -89,6 +89,42 @@ def test_run_until_stops_before_later_events(engine):
     assert fired == ["early", "late"]
 
 
+def test_stop_exit_does_not_fast_forward_to_until(engine):
+    """Early exit via `stop` must leave the clock at the last executed
+    event; fast-forwarding to `until` would stretch any window accounted
+    from engine.now (regression test)."""
+    fired = []
+    for i in range(5):
+        engine.schedule(float(i), fired.append, i)
+    engine.run(until=100.0, stop=lambda: len(fired) >= 2)
+    assert fired == [0, 1]
+    assert engine.now == 1.0
+
+
+def test_max_events_exit_does_not_fast_forward_to_until(engine):
+    for i in range(5):
+        engine.schedule(float(i), lambda: None)
+    engine.run(until=100.0, max_events=3)
+    assert engine.now == 2.0
+
+
+def test_drained_run_still_advances_to_until(engine):
+    """The legitimate fast-forward — queue drained before the horizon —
+    must keep working."""
+    engine.schedule(1.0, lambda: None)
+    engine.run(until=10.0, stop=lambda: False)
+    assert engine.now == 10.0
+
+
+def test_events_executed_accumulates(engine):
+    for i in range(3):
+        engine.schedule(float(i), lambda: None)
+    engine.run(max_events=2)
+    assert engine.events_executed == 2
+    engine.run()
+    assert engine.events_executed == 3
+
+
 def test_run_max_events(engine):
     fired = []
     for i in range(5):

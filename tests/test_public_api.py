@@ -28,6 +28,7 @@ MODULES = [
     "repro.core.guarantee", "repro.core.hibernator",
     "repro.analysis", "repro.analysis.energy", "repro.analysis.experiments",
     "repro.analysis.report", "repro.analysis.sweeps",
+    "repro.analysis.parallel", "repro.analysis.cache",
     "repro.analysis.ascii_plot", "repro.analysis.export",
     "repro.cli",
 ]

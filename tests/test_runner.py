@@ -125,3 +125,53 @@ def test_empty_trace_runs(small_config):
     result = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
     assert result.num_requests == 0
     assert result.mean_response_s == 0.0
+
+
+class _CountingPolicy(AlwaysOnPolicy):
+    """Tracks outstanding requests the way goal-aware policies do."""
+
+    def attach(self, sim):
+        super().attach(sim)
+        self.arrived = 0
+        self.completed = 0
+        self.failed_seen = 0
+
+    def on_request_arrival(self, request):
+        self.arrived += 1
+
+    def on_request_complete(self, request):
+        self.completed += 1
+        if request.failed:
+            self.failed_seen += 1
+
+
+def test_failed_requests_still_notify_policy(small_config):
+    """Regression: failed (degraded-mode) requests must reach
+    on_request_complete or outstanding-request accounting leaks."""
+    trace = poisson_trace(rate=20.0, duration=20.0, seed=35)
+    policy = _CountingPolicy()
+    sim = ArraySimulation(trace, small_config, policy)
+    sim.array.fail_disk(0)  # no RAID: requests on disk 0 fail
+    result = sim.run()
+    assert result.failed_requests > 0
+    assert policy.failed_seen == result.failed_requests
+    assert policy.completed == policy.arrived  # nothing leaks
+    # Failed requests carry no latency and stay out of the statistics.
+    assert result.num_requests == policy.completed - result.failed_requests
+
+
+def test_runtime_instrumentation_in_extras(small_config):
+    trace = poisson_trace(rate=20.0, duration=10.0, seed=36)
+    result = ArraySimulation(trace, small_config, AlwaysOnPolicy()).run()
+    assert result.extras["runtime_events"] > 0
+    assert result.extras["runtime_wall_s"] > 0
+    assert result.extras["runtime_events_per_s"] > 0
+
+
+def test_zero_disk_config_rejected_at_construction(spec):
+    from repro.disks.array import ArrayConfig
+
+    with pytest.raises(ValueError, match="num_disks must be >= 1"):
+        ArrayConfig(num_disks=0, spec=spec, num_extents=80)
+    with pytest.raises(ValueError, match="num_extents must be >= 1"):
+        ArrayConfig(num_disks=4, spec=spec, num_extents=0)

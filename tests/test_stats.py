@@ -6,6 +6,8 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.stats import (
     DeficitTracker,
@@ -175,3 +177,69 @@ class TestWindowAverage:
         w.add(1.0, 2.0)
         points = w.finish(4.0)
         assert points == [(0.0, 2.0, 1)]
+
+
+class TestMergePropertyBased:
+    """Property tests for the parallel Welford merge.
+
+    ``merge`` becomes load-bearing once results are combined across
+    worker processes (repro.analysis.parallel), so merging any partition
+    of a stream must be indistinguishable from observing it sequentially.
+    """
+
+    finite = st.floats(min_value=-1e6, max_value=1e6,
+                       allow_nan=False, allow_infinity=False)
+
+    @given(xs=st.lists(finite, max_size=200), split=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=200, deadline=None)
+    def test_two_way_merge_matches_sequential(self, xs, split):
+        split = min(split, len(xs))
+        left, right, sequential = OnlineStats(), OnlineStats(), OnlineStats()
+        for x in xs[:split]:
+            left.add(x)
+        for x in xs[split:]:
+            right.add(x)
+        for x in xs:
+            sequential.add(x)
+        left.merge(right)
+        assert left.n == sequential.n
+        assert left.total == pytest.approx(sequential.total, rel=1e-9, abs=1e-9)
+        assert left.mean == pytest.approx(sequential.mean, rel=1e-9, abs=1e-9)
+        assert left.variance == pytest.approx(sequential.variance, rel=1e-6, abs=1e-9)
+        if xs:
+            assert left.min == sequential.min
+            assert left.max == sequential.max
+
+    @given(chunks=st.lists(st.lists(finite, max_size=50), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_chunked_merge_matches_sequential(self, chunks):
+        merged, sequential = OnlineStats(), OnlineStats()
+        for chunk in chunks:
+            part = OnlineStats()
+            for x in chunk:
+                part.add(x)
+                sequential.add(x)
+            merged.merge(part)
+        assert merged.n == sequential.n
+        assert merged.mean == pytest.approx(sequential.mean, rel=1e-9, abs=1e-9)
+        assert merged.variance == pytest.approx(sequential.variance, rel=1e-6, abs=1e-9)
+
+    @given(xs=st.lists(finite, min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_into_empty_is_copy(self, xs):
+        src, dst = OnlineStats(), OnlineStats()
+        for x in xs:
+            src.add(x)
+        dst.merge(src)
+        assert (dst.n, dst.mean, dst.variance, dst.min, dst.max, dst.total) == (
+            src.n, src.mean, src.variance, src.min, src.max, src.total)
+
+    @given(xs=st.lists(finite, min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_empty_is_noop(self, xs):
+        s = OnlineStats()
+        for x in xs:
+            s.add(x)
+        before = (s.n, s.mean, s.variance, s.min, s.max, s.total)
+        s.merge(OnlineStats())
+        assert (s.n, s.mean, s.variance, s.min, s.max, s.total) == before
