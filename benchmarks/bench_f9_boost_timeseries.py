@@ -66,7 +66,7 @@ def test_f9_boost_timeseries(benchmark):
     policy, result = run_once(benchmark, run_experiment)
     speeds = {round(t): rpm for t, rpm, _ in result.speed_samples}
     rows = [
-        [f"{t:.0f}", f"{rt * 1e3:.2f}", f"{n}",
+        [f"{t:.0f}", f"{rt * 1e3:.2f}" if n else "-", f"{n}",
          f"{speeds.get(round(t), float('nan')):.0f}"]
         for t, rt, n in result.latency_windows
     ]

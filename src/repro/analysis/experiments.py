@@ -71,14 +71,21 @@ def run_single(
     policy: PowerPolicy,
     goal_s: float | None = None,
     window_s: float | None = None,
+    observe: bool = False,
 ) -> SimulationResult:
-    """One scheme on one trace (fresh simulation per call)."""
+    """One scheme on one trace (fresh simulation per call).
+
+    ``observe=True`` collects the structured event trace
+    (:mod:`repro.obs`) into ``result.events``; metrics are identical
+    either way.
+    """
     sim = ArraySimulation(
         trace=trace,
         array_config=array_config,
         policy=policy,
         goal_s=goal_s,
         window_s=window_s,
+        observe=observe,
     )
     return sim.run()
 
@@ -87,6 +94,7 @@ def derive_goal(
     trace: Trace,
     array_config: ArrayConfig,
     slack: float = 1.5,
+    observe: bool = False,
 ) -> tuple[float, SimulationResult]:
     """Run Base and derive the response-time goal from its mean.
 
@@ -96,7 +104,7 @@ def derive_goal(
     """
     if slack < 1.0:
         raise ValueError(f"slack below 1.0 is unmeetable by definition, got {slack!r}")
-    base = run_single(trace, array_config, AlwaysOnPolicy())
+    base = run_single(trace, array_config, AlwaysOnPolicy(), observe=observe)
     if base.mean_response_s <= 0:
         raise ValueError("Base run produced no requests; cannot derive a goal")
     return slack * base.mean_response_s, base
@@ -149,6 +157,19 @@ class ComparisonResult:
     def savings(self, name: str) -> float:
         """Fractional energy savings of scheme ``name`` vs Base."""
         return savings_fraction(self.results[name].energy_joules, self.base.energy_joules)
+
+    def all_events(self) -> list:
+        """Every scheme's trace events, concatenated in result order.
+
+        Each observed run opens with its own ``run_start`` event, so the
+        concatenation splits back apart with
+        :func:`repro.obs.tracelog.split_runs`. Empty when the comparison
+        ran without ``observe=True``.
+        """
+        events: list = []
+        for result in self.results.values():
+            events.extend(result.events)
+        return events
 
     def rows(self) -> list[list[str]]:
         """Table rows: scheme, energy, savings, mean RT, RT vs goal."""
@@ -207,6 +228,7 @@ def run_comparison(
     window_s: float | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    observe: bool = False,
 ) -> ComparisonResult:
     """Full paper-style comparison on one trace.
 
@@ -218,15 +240,18 @@ def run_comparison(
             changes nothing but wall-clock time.
         cache: optional on-disk result cache; hits skip simulation
             entirely and misses are stored for next time.
+        observe: collect the structured event trace (:mod:`repro.obs`)
+            for every run, Base included, into each result's ``events``.
     """
     if jobs == 1 and cache is None:
-        goal_s, base_result = derive_goal(trace, array_config, slack)
+        goal_s, base_result = derive_goal(trace, array_config, slack, observe=observe)
         comparison = ComparisonResult(goal_s=goal_s, slack=slack)
         comparison.results["Base"] = base_result
         if schemes is None:
             schemes = standard_policies(trace, array_config, hibernator_config)
         for policy, config in schemes:
-            result = run_single(trace, config, policy, goal_s=goal_s, window_s=window_s)
+            result = run_single(trace, config, policy, goal_s=goal_s,
+                                window_s=window_s, observe=observe)
             comparison.results[result.policy_name] = result
         return comparison
 
@@ -236,7 +261,8 @@ def run_comparison(
         raise ValueError(f"slack below 1.0 is unmeetable by definition, got {slack!r}")
     trace_spec = TraceSpec.from_trace(trace)
     base_result = execute_one(
-        RunSpec(trace=trace_spec, array=array_config, policy=PolicySpec.named("base")),
+        RunSpec(trace=trace_spec, array=array_config, policy=PolicySpec.named("base"),
+                observe=observe),
         cache=cache,
     )
     if base_result.mean_response_s <= 0:
@@ -253,6 +279,7 @@ def run_comparison(
             policy=PolicySpec.from_instance(policy),
             goal_s=goal_s,
             window_s=window_s,
+            observe=observe,
         )
         for policy, config in schemes
     ]

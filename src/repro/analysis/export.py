@@ -9,20 +9,35 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from pathlib import Path
 from typing import IO, Any
 
 from repro.analysis.experiments import ComparisonResult
+from repro.obs.events import event_to_dict
 from repro.sim.runner import SimulationResult
 
 
-def result_to_dict(result: SimulationResult, include_series: bool = False) -> dict[str, Any]:
+def _json_safe(value: float) -> float | None:
+    """NaN has no JSON encoding; empty latency windows export as null."""
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def result_to_dict(
+    result: SimulationResult,
+    include_series: bool = False,
+    include_events: bool = False,
+) -> dict[str, Any]:
     """Flatten one run into JSON-safe types.
 
     Args:
         include_series: also include the time series (latency windows,
             speed and power samples); omitted by default because they
             dominate the payload.
+        include_events: also include the structured trace events (only
+            present on runs built with ``observe=True``).
     """
     out: dict[str, Any] = {
         "trace": result.trace_name,
@@ -47,9 +62,11 @@ def result_to_dict(result: SimulationResult, include_series: bool = False) -> di
         "extras": dict(result.extras),
     }
     if include_series:
-        out["latency_windows"] = [list(w) for w in result.latency_windows]
+        out["latency_windows"] = [[w[0], _json_safe(w[1]), w[2]] for w in result.latency_windows]
         out["speed_samples"] = [list(s) for s in result.speed_samples]
         out["power_samples"] = [list(p) for p in result.power_samples]
+    if include_events:
+        out["events"] = [event_to_dict(e) for e in result.events]
     return out
 
 

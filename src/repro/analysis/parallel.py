@@ -212,7 +212,14 @@ class PolicySpec:
 
 @dataclass(eq=False)
 class RunSpec:
-    """Everything one simulation run needs, in picklable form."""
+    """Everything one simulation run needs, in picklable form.
+
+    ``observe`` turns on the structured event trace (:mod:`repro.obs`);
+    the events come back inside the result, so parallel workers and the
+    cache carry them like any other metric. It is part of the cache key:
+    an observed and an unobserved run of the same experiment are distinct
+    entries (their metrics are identical, their payloads are not).
+    """
 
     trace: TraceSpec
     array: ArrayConfig
@@ -220,6 +227,7 @@ class RunSpec:
     goal_s: float | None = None
     window_s: float | None = None
     keep_latency_samples: bool = True
+    observe: bool = False
 
 
 def run_spec(spec: RunSpec) -> "SimulationResult":
@@ -235,6 +243,7 @@ def run_spec(spec: RunSpec) -> "SimulationResult":
         goal_s=spec.goal_s,
         window_s=spec.window_s,
         keep_latency_samples=spec.keep_latency_samples,
+        observe=spec.observe,
     )
     return sim.run()
 

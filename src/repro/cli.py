@@ -7,6 +7,8 @@ Drive the library without writing Python::
     python -m repro run --policy hibernator --trace oltp.csv --slack 2.0
     python -m repro compare --trace oltp.csv --slack 2.0
     python -m repro compare --trace oltp.csv --jobs 4 --cache-dir .repro-cache
+    python -m repro compare --trace oltp.csv --trace-out events.jsonl
+    python -m repro trace events.jsonl
     python -m repro sweep-slack --trace oltp.csv --slacks 1.5,2,3
     python -m repro cache --cache-dir .repro-cache --clear
 
@@ -73,6 +75,19 @@ def _add_parallel_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir",
                         help="directory for the on-disk result cache; "
                              "repeated identical runs are served from it")
+
+
+def _add_trace_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out",
+                        help="collect the structured event trace and write it "
+                             "as JSONL to this path (render with 'repro trace')")
+
+
+def _write_trace_out(events, path: str) -> None:
+    from repro.obs.tracelog import write_jsonl
+
+    lines = write_jsonl(events, path)
+    print(f"wrote {lines} trace event(s) to {path}")
 
 
 def _make_cache(args: argparse.Namespace):
@@ -205,7 +220,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         base = run_single(trace, config, AlwaysOnPolicy())
         goal = args.slack * base.mean_response_s
     policy, policy_config = _build_policy(args.policy, args, trace, config)
-    result = run_single(trace, policy_config, policy, goal_s=goal)
+    result = run_single(trace, policy_config, policy, goal_s=goal,
+                        observe=bool(args.trace_out))
+    if args.trace_out:
+        _write_trace_out(result.events, args.trace_out)
     if args.json:
         from repro.analysis.export import result_to_dict, write_json
 
@@ -224,8 +242,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
         trace, config, slack=args.slack,
         hibernator_config=HibernatorConfig(epoch_seconds=args.epoch,
                                            migration=args.migration),
-        jobs=args.jobs, cache=cache,
+        jobs=args.jobs, cache=cache, observe=bool(args.trace_out),
     )
+    if args.trace_out:
+        _write_trace_out(comparison.all_events(), args.trace_out)
     if args.json:
         from repro.analysis.export import comparison_to_dict, write_json
 
@@ -260,9 +280,11 @@ def cmd_sweep_slack(args: argparse.Namespace) -> int:
         if slack < 1.0:
             raise SystemExit(f"slack {slack} below 1.0 is unmeetable")
     cache = _make_cache(args)
+    observe = bool(args.trace_out)
     trace_spec = TraceSpec.from_trace(trace)
     base = execute_one(
-        RunSpec(trace=trace_spec, array=config, policy=PolicySpec.named("base")),
+        RunSpec(trace=trace_spec, array=config, policy=PolicySpec.named("base"),
+                observe=observe),
         cache=cache,
     )
     hib_cfg = HibernatorConfig(epoch_seconds=args.epoch, migration=args.migration)
@@ -272,16 +294,34 @@ def cmd_sweep_slack(args: argparse.Namespace) -> int:
             array=config,
             policy=PolicySpec.named("hibernator", config=hib_cfg),
             goal_s=slack * base.mean_response_s,
+            observe=observe,
         )
         for slack in slacks
     ]
     results = execute(specs, jobs=args.jobs, cache=cache)
+    if args.trace_out:
+        events = list(base.events)
+        for result in results:
+            events.extend(result.events)
+        _write_trace_out(events, args.trace_out)
     points = [(slack, 100.0 * result.energy_savings_vs(base))
               for slack, result in zip(slacks, results)]
     print(format_series(
         f"{trace.name}: Hibernator savings vs slack",
         points, x_label="slack", y_label="savings %",
     ))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.summary import render_runs
+    from repro.obs.tracelog import read_jsonl, split_runs
+
+    events = read_jsonl(args.trace_file)
+    if not events:
+        print(f"{args.trace_file}: no events")
+        return 0
+    print(render_runs(split_runs(events), width=args.width))
     return 0
 
 
@@ -332,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-prime", dest="prime", action="store_false",
                    help="skip heat priming (start with an observation epoch)")
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    _add_trace_out(p)
     p.set_defaults(func=cmd_run, prime=True)
 
     p = sub.add_parser("compare", help="run the full scheme comparison")
@@ -344,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.add_argument("--csv", help="write per-scheme CSV to this path")
     _add_parallel_options(p)
+    _add_trace_out(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep-slack", help="Hibernator savings across goals")
@@ -355,7 +397,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--migration", choices=("shuffle", "sorted", "none"),
                    default="shuffle")
     _add_parallel_options(p)
+    _add_trace_out(p)
     p.set_defaults(func=cmd_sweep_slack)
+
+    p = sub.add_parser("trace", help="render a structured event trace (JSONL)")
+    p.add_argument("trace_file", help="JSONL file written via --trace-out")
+    p.add_argument("--width", type=int, default=64,
+                   help="timeline width in characters (default 64)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
     p.add_argument("--cache-dir", required=True, help="cache directory")

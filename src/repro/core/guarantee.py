@@ -20,7 +20,9 @@ error is bounded by the boost's reaction, not by the epoch length.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
+from repro.obs.events import BoostEnter, BoostExit, TraceEvent
 from repro.sim.stats import DeficitTracker
 
 
@@ -67,6 +69,8 @@ class BoostController:
         self.boosts_entered = 0
         self.boost_seconds = 0.0
         self._boost_started: float | None = None
+        # Structured-trace hook (repro.obs); None = tracing disabled.
+        self.emit: Callable[[TraceEvent], None] | None = None
 
     @property
     def goal_s(self) -> float:
@@ -100,20 +104,34 @@ class BoostController:
         self.boosted = True
         self.boosts_entered += 1
         self._boost_started = now
+        if self.emit is not None:
+            self.emit(BoostEnter(time=now, deficit_s=self.tracker.deficit))
 
     def exit_boost(self, now: float) -> None:
         if not self.boosted:
             raise RuntimeError("not boosted")
-        assert self._boost_started is not None
-        self.boost_seconds += now - self._boost_started
-        self._boost_started = None
+        if self._boost_started is not None:
+            self.boost_seconds += now - self._boost_started
+            self._boost_started = None
         self.boosted = False
+        if self.emit is not None:
+            self.emit(BoostExit(
+                time=now,
+                deficit_s=self.tracker.deficit,
+                boost_seconds_total=self.boost_seconds,
+            ))
 
     def finish(self, now: float) -> None:
-        """Close accounting at end of run (boost may still be active)."""
+        """Close accounting at end of run (boost may still be active).
+
+        Idempotent: the open interval is added once and ``_boost_started``
+        is cleared, so a later ``finish`` or ``exit_boost`` at the same
+        time adds nothing. ``boosted`` stays True — the run *ended*
+        boosted; only the time accounting is closed.
+        """
         if self.boosted and self._boost_started is not None:
             self.boost_seconds += now - self._boost_started
-            self._boost_started = now
+            self._boost_started = None
 
     @property
     def cumulative_average(self) -> float:

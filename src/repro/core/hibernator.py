@@ -45,6 +45,7 @@ from repro.core.speed_setting import (
     solve_utilization_assignment,
 )
 from repro.core.temperature import HeatTracker
+from repro.obs.events import EpochBoundary
 from repro.policies.base import PowerPolicy
 from repro.sim.request import Request
 from repro.sim.stats import OnlineStats
@@ -174,7 +175,20 @@ class HibernatorPolicy(PowerPolicy):
             write_weight=4.0 if array.config.raid5 else 1.0,
         )
         self.boost = BoostController(sim.goal_s, cfg.guarantee) if sim.goal_s else None
+        if self.boost is not None:
+            self.boost.emit = sim.emit
         self.executor = MigrationExecutor(array, cfg.max_inflight_migrations)
+        # Register every instrument up front so the extras key set is
+        # stable (present even when the count stays zero), matching the
+        # pre-registry dict exactly.
+        self.metrics.counter("epochs")
+        self.metrics.gauge("final_epoch_s").set(cfg.epoch_seconds)
+        self.metrics.counter("infeasible_epochs")
+        self.metrics.counter("planned_moves")
+        if self.boost is not None:
+            self.metrics.counter("boosts")
+            self.metrics.gauge("boost_seconds")
+            self.metrics.gauge("final_deficit_s")
         self.assignment = None
         self.layout = None
         self.epochs = []
@@ -214,6 +228,7 @@ class HibernatorPolicy(PowerPolicy):
         assert sim is not None
         if self.boost.should_enter_boost():
             self.boost.enter_boost(sim.engine.now)
+            self.metrics.counter("boosts").inc()
             self._boost_speeds()
             assert self.executor is not None
             self.executor.cancel()
@@ -224,6 +239,10 @@ class HibernatorPolicy(PowerPolicy):
     def on_finish(self, now: float) -> None:
         if self.boost is not None:
             self.boost.finish(now)
+        self.metrics.gauge("final_epoch_s").set(self._current_epoch_s)
+        if self.boost is not None:
+            self.metrics.gauge("boost_seconds").set(self.boost.boost_seconds)
+            self.metrics.gauge("final_deficit_s").set(self.boost.deficit)
 
     # -- epoch machinery -----------------------------------------------------------
 
@@ -323,6 +342,25 @@ class HibernatorPolicy(PowerPolicy):
                 boosted_at_boundary=boosted,
             )
         )
+        self.metrics.counter("epochs").inc()
+        if not assignment.feasible:
+            self.metrics.counter("infeasible_epochs").inc()
+        self.metrics.counter("planned_moves").inc(float(planned))
+        if sim.emit is not None:
+            sim.emit(EpochBoundary(
+                time=sim.engine.now,
+                epoch_index=len(self.epochs) - 1,
+                configuration=assignment.describe(),
+                tier_speeds=tuple(int(s) for s in assignment.speeds_desc),
+                tier_counts=tuple(int(c) for c in assignment.counts),
+                heat_total=float(self.heat.heat.sum()),
+                predicted_response_s=assignment.predicted_response_s,
+                predicted_energy_joules=assignment.predicted_energy_joules,
+                feasible=assignment.feasible,
+                planned_moves=planned,
+                boosted=boosted,
+                epoch_seconds=self._current_epoch_s,
+            ))
 
     def _planning_goal(self) -> float | None:
         """The goal the CR optimizer should plan disk responses against.
@@ -436,14 +474,16 @@ class HibernatorPolicy(PowerPolicy):
         )
 
     def extras(self) -> dict[str, float]:
-        out: dict[str, float] = {
-            "epochs": float(len(self.epochs)),
-            "final_epoch_s": self._current_epoch_s,
-            "infeasible_epochs": float(sum(1 for e in self.epochs if not e.feasible)),
-            "planned_moves": float(sum(e.planned_moves for e in self.epochs)),
-        }
+        # The registry (filled incrementally during the run, gauges
+        # finalized in on_finish) carries exactly the keys the old
+        # hand-built dict did; refresh the gauges here so extras() is
+        # also accurate when called mid-run by tests. counter() is
+        # get-or-create, so the keys exist even before the first epoch.
+        self.metrics.counter("epochs")
+        self.metrics.counter("infeasible_epochs")
+        self.metrics.counter("planned_moves")
+        self.metrics.gauge("final_epoch_s").set(self._current_epoch_s)
         if self.boost is not None:
-            out["boosts"] = float(self.boost.boosts_entered)
-            out["boost_seconds"] = self.boost.boost_seconds
-            out["final_deficit_s"] = self.boost.deficit
-        return out
+            self.metrics.gauge("boost_seconds").set(self.boost.boost_seconds)
+            self.metrics.gauge("final_deficit_s").set(self.boost.deficit)
+        return self.metrics.as_dict()

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.layout import TierLayout
 from repro.disks.array import DiskArray
+from repro.obs.events import MigrationCancelled, MigrationPlanned
 
 
 @dataclass
@@ -154,6 +155,10 @@ class MigrationExecutor:
         self._on_done = on_done
         self.completed = 0
         self.unplaced = 0
+        if self.array.emit is not None:
+            self.array.emit(MigrationPlanned(
+                time=self.array.engine.now, moves=plan.num_moves,
+            ))
         self._pump()
 
     def cancel(self) -> None:
@@ -163,9 +168,14 @@ class MigrationExecutor:
         disks to foreground traffic immediately.
         """
         self._cancelled = True
-        self.unplaced += len(self._pending) + len(self._deferred)
+        dropped = len(self._pending) + len(self._deferred)
+        self.unplaced += dropped
         self._pending.clear()
         self._deferred.clear()
+        if dropped and self.array.emit is not None:
+            self.array.emit(MigrationCancelled(
+                time=self.array.engine.now, unplaced=dropped,
+            ))
 
     def _pump(self) -> None:
         while not self._cancelled and self._inflight < self.max_inflight and self._pending:
@@ -181,9 +191,14 @@ class MigrationExecutor:
             if self._pending or self._deferred:
                 # Everything left is blocked on slots with no completions
                 # coming to free any: give up for this epoch.
-                self.unplaced += len(self._pending) + len(self._deferred)
+                dropped = len(self._pending) + len(self._deferred)
+                self.unplaced += dropped
                 self._pending.clear()
                 self._deferred.clear()
+                if self.array.emit is not None:
+                    self.array.emit(MigrationCancelled(
+                        time=self.array.engine.now, unplaced=dropped,
+                    ))
             if self._on_done is not None:
                 callback, self._on_done = self._on_done, None
                 callback(self)

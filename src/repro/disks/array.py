@@ -19,6 +19,7 @@ from repro.disks.mapping import ExtentMap
 from repro.disks.power import PowerBreakdown
 from repro.disks.raid import expand_request, expand_request_degraded
 from repro.disks.specs import DiskSpec, ultrastar_36z15
+from repro.obs.events import MigrationMove, TraceEvent
 from repro.sim.engine import Engine
 from repro.sim.request import DiskOp, IoKind, Request, RequestClass
 
@@ -137,6 +138,14 @@ class DiskArray:
         # MAID): called with the request, returns (disk, block) to serve
         # it from, or None for the extent map's placement.
         self.redirect: Callable[[Request], tuple[int, int] | None] | None = None
+        # Structured-trace hook (repro.obs); None = tracing disabled.
+        self.emit: Callable[[TraceEvent], None] | None = None
+
+    def install_trace_hook(self, emit: Callable[[TraceEvent], None]) -> None:
+        """Install the observability ``emit`` hook on the array and disks."""
+        self.emit = emit
+        for disk in self.disks:
+            disk.emit = emit
 
     # -- request path --------------------------------------------------------
 
@@ -287,6 +296,13 @@ class DiskArray:
             self.extent_map.move(extent, to_disk)
             self.migration_extents_moved += 1
             self.migration_bytes += size
+            if self.emit is not None:
+                self.emit(MigrationMove(
+                    time=self.engine.now,
+                    extent=extent,
+                    from_disk=from_disk,
+                    to_disk=to_disk,
+                ))
             if on_complete is not None:
                 on_complete(extent)
 

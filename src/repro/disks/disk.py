@@ -31,6 +31,7 @@ from repro.disks.mechanics import DiskMechanics
 from repro.disks.power import EnergyMeter
 from repro.disks.scheduling import QueueDiscipline, make_discipline
 from repro.disks.specs import DiskSpec
+from repro.obs.events import SpeedTransition, TraceEvent
 from repro.sim.engine import Engine
 from repro.sim.request import DiskOp
 
@@ -96,6 +97,8 @@ class MultiSpeedDisk:
         # Observability hooks for policies (TPM idle timers, DRPM sampling).
         self.on_idle: Callable[["MultiSpeedDisk"], None] | None = None
         self.on_activity: Callable[["MultiSpeedDisk"], None] | None = None
+        # Structured-trace hook (repro.obs); None = tracing disabled.
+        self.emit: Callable[[TraceEvent], None] | None = None
         # Counters.
         self.ops_completed = 0
         self.bytes_transferred = 0
@@ -233,6 +236,10 @@ class MultiSpeedDisk:
             self.spinups += 1
         elif self.rpm > 0 and to_rpm > 0:
             self.speed_changes += 1
+        if self.emit is not None:
+            self.emit(SpeedTransition(
+                time=now, disk=self.index, from_rpm=self.rpm, to_rpm=to_rpm,
+            ))
         self.engine.schedule_after(duration, self._finish_transition)
 
     def _finish_transition(self) -> None:

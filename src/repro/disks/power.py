@@ -102,3 +102,8 @@ class EnergyMeter:
     @property
     def total_joules(self) -> float:
         return self.breakdown.total_joules
+
+    @property
+    def impulse_joules(self) -> float:
+        """Lump-sum energy added via :meth:`add_impulse` (transition costs)."""
+        return self._impulse_joules

@@ -1,0 +1,124 @@
+"""Named counters, gauges and timers for run metrics.
+
+The registry replaces the ad-hoc ``extras`` dict plumbing: instead of
+every policy assembling its own dict at the end of a run, components
+register named instruments on the simulation's
+:class:`MetricsRegistry` during ``attach`` and update them as events
+happen. The runner flattens the registry into
+``SimulationResult.extras`` at the end, so downstream consumers (tables,
+CSV/JSON export, benchmarks) are unchanged.
+
+Instrument types:
+
+* :class:`Counter` — monotonically increasing count (epochs seen,
+  boosts entered);
+* :class:`Gauge` — last-write-wins value (final deficit, final epoch
+  length);
+* :class:`Timer` — accumulated duration plus an observation count
+  (wall-clock spent simulating). Flattens to its total seconds only, so
+  a timer and a gauge with the same name are interchangeable in the
+  exported extras.
+
+Names must be unique across instrument types; asking for an existing
+name with a different type is a bug and raises.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Timer:
+    """Accumulated duration; flattens to total seconds."""
+
+    __slots__ = ("name", "total", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"timer {self.name!r} observed negative duration {seconds}")
+        self.total += seconds
+        self.count += 1
+
+    @property
+    def value(self) -> float:
+        return self.total
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    One registry lives on each :class:`~repro.sim.runner.ArraySimulation`
+    (fresh per run, so policies reused across runs cannot leak state) and
+    is flattened into ``SimulationResult.extras`` when the run ends.
+    """
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Timer] = {}
+
+    def _get(self, name: str, cls: type) -> "Counter | Gauge | Timer":
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        instrument = cls(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)  # type: ignore[return-value]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten every instrument to ``{name: value}``, sorted by name."""
+        return {name: self._instruments[name].value for name in sorted(self._instruments)}

@@ -1,0 +1,104 @@
+"""The event sink plus JSONL import/export.
+
+A :class:`TraceLog` is a plain append-only list with an :meth:`emit`
+bound method that components call through the narrow
+``emit(event)`` hook threaded from :class:`~repro.sim.runner.ArraySimulation`.
+When observability is disabled the hook is ``None`` and nothing here is
+ever touched.
+
+On disk a trace is JSON Lines: one event dict per line (see
+:func:`repro.obs.events.event_to_dict`). A file may hold several runs
+back to back (``repro compare --trace-out`` writes one per scheme); each
+run opens with a ``run_start`` line, which is what :func:`split_runs`
+keys on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Sequence
+
+from repro.obs.events import TraceEvent, event_from_dict, event_to_dict
+
+
+class TraceLog:
+    """Append-only, in-order record of one run's events."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event (the hook handed to instrumented components)."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str | type[TraceEvent]) -> list[TraceEvent]:
+        """Events of one kind, by tag string or event class."""
+        tag = kind if isinstance(kind, str) else kind.kind
+        return [e for e in self.events if e.kind == tag]
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path | IO[str]) -> int:
+    """Write events as JSON Lines; returns the number of lines written."""
+    def _write(fh: IO[str]) -> int:
+        n = 0
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event), sort_keys=True))
+            fh.write("\n")
+            n += 1
+        return n
+
+    if hasattr(path, "write"):
+        return _write(path)  # type: ignore[arg-type]
+    with open(path, "w", encoding="utf-8") as fh:
+        return _write(fh)
+
+
+def read_jsonl(path: str | Path | IO[str]) -> list[TraceEvent]:
+    """Read a JSONL trace file back into event objects.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the 1-based line number.
+    """
+    def _read(fh: IO[str]) -> list[TraceEvent]:
+        out: list[TraceEvent] = []
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(event_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
+                raise ValueError(f"bad trace line {lineno}: {exc}") from exc
+        return out
+
+    if hasattr(path, "read"):
+        return _read(path)  # type: ignore[arg-type]
+    with open(path, "r", encoding="utf-8") as fh:
+        return _read(fh)
+
+
+def split_runs(events: Sequence[TraceEvent]) -> list[list[TraceEvent]]:
+    """Partition a multi-run event stream on ``run_start`` boundaries.
+
+    Events before the first ``run_start`` (if any) form their own leading
+    group so nothing is silently dropped.
+    """
+    runs: list[list[TraceEvent]] = []
+    current: list[TraceEvent] = []
+    for event in events:
+        if event.kind == "run_start" and current:
+            runs.append(current)
+            current = []
+        current.append(event)
+    if current:
+        runs.append(current)
+    return runs

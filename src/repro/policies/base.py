@@ -15,6 +15,7 @@ from __future__ import annotations
 import abc
 import typing
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.request import Request
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -29,6 +30,10 @@ class PowerPolicy(abc.ABC):
 
     def __init__(self) -> None:
         self.sim: "ArraySimulation | None" = None
+        #: Per-run named metrics; flattened into the result's ``extras``
+        #: by :meth:`extras`. Recreated on every attach so a policy
+        #: instance reused across runs cannot leak counts.
+        self.metrics = MetricsRegistry()
 
     @abc.abstractmethod
     def attach(self, sim: "ArraySimulation") -> None:
@@ -39,6 +44,7 @@ class PowerPolicy(abc.ABC):
         via ``PowerPolicy.attach(self, sim)``).
         """
         self.sim = sim
+        self.metrics = MetricsRegistry()
 
     def on_request_arrival(self, request: Request) -> None:
         """Called just before a foreground request is submitted."""
@@ -54,5 +60,9 @@ class PowerPolicy(abc.ABC):
         return self.name
 
     def extras(self) -> dict[str, float]:
-        """Policy-specific scalar metrics merged into the run result."""
-        return {}
+        """Policy-specific scalar metrics merged into the run result.
+
+        The default flattens :attr:`metrics`; policies that register
+        instruments there need not override this at all.
+        """
+        return self.metrics.as_dict()

@@ -84,6 +84,7 @@ class PdcPolicy(PowerPolicy):
         for disk in array.disks:
             self._manager.manage(disk)
         self.periods = 0
+        self.metrics.counter("pdc_periods")  # registered so the key exists even at 0
         sim.engine.schedule(self.config.period_s, self._period_boundary)
 
     def on_request_arrival(self, request: Request) -> None:
@@ -95,6 +96,7 @@ class PdcPolicy(PowerPolicy):
         assert sim is not None and self.heat is not None and self.executor is not None
         self.heat.close_epoch(self.config.period_s)
         self.periods += 1
+        self.metrics.counter("pdc_periods").inc()
         plan = self._plan_concentration()
         if self.executor.active:
             self.executor.cancel()
@@ -123,6 +125,3 @@ class PdcPolicy(PowerPolicy):
 
     def describe(self) -> str:
         return f"PDC(period={self.config.period_s:g}s, cap={self.config.max_moves_per_period})"
-
-    def extras(self) -> dict[str, float]:
-        return {"pdc_periods": float(self.periods)}

@@ -18,6 +18,9 @@ from dataclasses import dataclass, field
 
 from repro.disks.array import ArrayConfig, DiskArray
 from repro.disks.power import PowerBreakdown
+from repro.obs.events import RequestFailed, RunEnd, RunStart, TraceEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracelog import TraceLog
 from repro.sim.engine import Engine
 from repro.sim.request import Request
 from repro.sim.stats import DeficitTracker, LatencyRecorder, WindowAverage
@@ -35,6 +38,17 @@ class SimulationResult:
     latency statistics cover foreground requests only — migration I/O is
     charged to energy and disk time but not to response time, matching
     the paper's accounting.
+
+    ``num_requests`` counts **successfully served** foreground requests
+    — exactly the population the latency statistics are computed over.
+    Requests that could not be served (degraded mode without redundancy)
+    are counted in ``failed_requests`` only and contribute no latency
+    samples, so ``num_requests + failed_requests`` is the total offered
+    foreground load.
+
+    ``events`` holds the structured trace (:mod:`repro.obs`) when the run
+    was built with ``observe=True``; it is empty — and cost nothing to
+    not collect — otherwise.
     """
 
     trace_name: str
@@ -59,6 +73,7 @@ class SimulationResult:
     speed_samples: list[tuple[float, float, int]] = field(default_factory=list)
     power_samples: list[tuple[float, float]] = field(default_factory=list)
     extras: dict[str, float] = field(default_factory=dict)
+    events: list[TraceEvent] = field(default_factory=list)
 
     @property
     def mean_power_watts(self) -> float:
@@ -93,6 +108,10 @@ class ArraySimulation:
             time-series collection.
         keep_latency_samples: retain per-request latencies for exact
             percentiles (disable for very long runs).
+        observe: collect the structured event trace (:mod:`repro.obs`)
+            into ``SimulationResult.events``. Off by default; when off,
+            the ``emit`` hook is None everywhere and no event objects are
+            ever constructed, so metrics are identical either way.
     """
 
     def __init__(
@@ -103,12 +122,21 @@ class ArraySimulation:
         goal_s: float | None = None,
         window_s: float | None = None,
         keep_latency_samples: bool = True,
+        observe: bool = False,
     ) -> None:
         self.trace = trace
         self.engine = Engine()
         self.array = DiskArray(self.engine, array_config)
         self.policy = policy
         self.goal_s = goal_s
+        self.metrics = MetricsRegistry()
+        self.obs_log: TraceLog | None = TraceLog() if observe else None
+        #: The narrow observability hook: ``emit(event)`` or None. Every
+        #: instrumented site guards with ``is None`` so disabled runs pay
+        #: nothing.
+        self.emit = self.obs_log.emit if self.obs_log is not None else None
+        if self.emit is not None:
+            self.array.install_trace_hook(self.emit)
         self.latency = LatencyRecorder(keep_samples=keep_latency_samples)
         self.deficit = DeficitTracker(goal_s) if goal_s is not None else None
         self._window_s = window_s
@@ -149,6 +177,13 @@ class ArraySimulation:
         self._outstanding -= 1
         if request.failed:
             self.failed_requests += 1
+            if self.emit is not None:
+                self.emit(RequestFailed(
+                    time=self.engine.now,
+                    req_id=request.req_id,
+                    extent=request.extent,
+                    op_kind=request.kind.value,
+                ))
             # No latency to record, but the policy must still see the
             # completion (request.failed is set) or outstanding-request
             # accounting leaks on degraded-mode runs.
@@ -184,6 +219,20 @@ class ArraySimulation:
             raise RuntimeError("ArraySimulation.run() is single-shot; build a new one")
         self._ran = True
         self.policy.attach(self)
+        if self.obs_log is not None:
+            # Prepended *after* attach so initial_rpm reflects any instant
+            # (force_speed) priming the policy did; every attach-time event
+            # shares t=0 with it, so time order is preserved.
+            self.obs_log.events.insert(0, RunStart(
+                time=0.0,
+                trace_name=self.trace.name,
+                policy_name=self.policy.name,
+                policy_params=self.policy.describe(),
+                goal_s=self.goal_s,
+                num_disks=self.array.num_disks,
+                num_extents=self.array.num_extents,
+                initial_rpm=tuple(int(d.rpm) for d in self.array.disks),
+            ))
         self._schedule_next_arrival()
         if self._window_s is not None:
             self.engine.schedule(0.0, self._sample_speeds)
@@ -208,14 +257,30 @@ class ArraySimulation:
         windows = self._latency_windows.finish(end) if self._latency_windows else []
         has_latency = self.latency.n > 0
         extras = dict(self.policy.extras())
-        # Run instrumentation. runtime_events is deterministic (a pure
-        # function of the spec); the wall-clock figures are the only
-        # result fields that vary between repeats, so consumers that
-        # compare results for identity must strip the runtime_* keys
-        # (see repro.analysis.parallel).
-        extras["runtime_events"] = float(events)
-        extras["runtime_wall_s"] = wall_s
-        extras["runtime_events_per_s"] = events / wall_s if wall_s > 0 else 0.0
+        # Run instrumentation, via the registry. runtime_events is
+        # deterministic (a pure function of the spec); the wall-clock
+        # figures are the only result fields that vary between repeats,
+        # so consumers that compare results for identity must strip the
+        # runtime_* keys (see repro.analysis.parallel).
+        self.metrics.gauge("runtime_events").set(float(events))
+        self.metrics.gauge("runtime_wall_s").set(wall_s)
+        self.metrics.gauge("runtime_events_per_s").set(
+            events / wall_s if wall_s > 0 else 0.0
+        )
+        extras.update(self.metrics.as_dict())
+        if self.emit is not None:
+            self.emit(RunEnd(
+                time=end,
+                num_requests=self.latency.n,
+                failed_requests=self.failed_requests,
+                energy_joules=energy,
+                impulse_joules=sum(d.meter.impulse_joules for d in self.array.disks),
+                boost_seconds=extras.get("boost_seconds", 0.0),
+                spinups=spinups,
+                speed_changes=speed_changes,
+                migration_extents=self.array.migration_extents_moved,
+                migration_bytes=self.array.migration_bytes,
+            ))
         return SimulationResult(
             trace_name=self.trace.name,
             policy_name=self.policy.name,
@@ -243,4 +308,5 @@ class ArraySimulation:
             speed_samples=self._speed_samples,
             power_samples=self._power_samples,
             extras=extras,
+            events=list(self.obs_log.events) if self.obs_log is not None else [],
         )

@@ -213,9 +213,11 @@ class WindowAverage:
         while now >= self._window_start + self.width:
             if self._count:
                 mean = self._sum / self._count
-                self.points.append((self._window_start, mean, self._count))
             else:
-                self.points.append((self._window_start, 0.0, 0))
+                # A window with no observations has no mean; 0.0 would be
+                # indistinguishable from a genuine zero-latency window.
+                mean = float("nan")
+            self.points.append((self._window_start, mean, self._count))
             self._window_start += self.width
             self._sum = 0.0
             self._count = 0

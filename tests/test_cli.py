@@ -157,3 +157,63 @@ def test_sweep_slack_jobs_matches_sequential(tmp_path, capsys):
     assert main(base_args + ["--jobs", "2"]) == 0
     parallel = capsys.readouterr().out
     assert sequential == parallel
+
+
+def test_run_trace_out_and_render(tmp_path, capsys):
+    path = gen(tmp_path)
+    out_path = tmp_path / "events.jsonl"
+    capsys.readouterr()
+    assert main(["run", "--trace", str(path), "--policy", "hibernator",
+                 "--disks", "4", "--epoch", "30",
+                 "--trace-out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"trace event(s) to {out_path}" in out
+    assert out_path.is_file()
+
+    assert main(["trace", str(out_path)]) == 0
+    rendered = capsys.readouterr().out
+    assert "epoch decisions" in rendered
+    assert "reconciliation" in rendered
+    assert "MISMATCH" not in rendered
+
+
+def test_compare_trace_out_covers_all_schemes(tmp_path, capsys):
+    from repro.obs.tracelog import read_jsonl, split_runs
+
+    path = gen(tmp_path)
+    out_path = tmp_path / "events.jsonl"
+    capsys.readouterr()
+    assert main(["compare", "--trace", str(path), "--disks", "4",
+                 "--epoch", "30", "--trace-out", str(out_path)]) == 0
+    runs = split_runs(read_jsonl(out_path))
+    names = [run[0].policy_name for run in runs]
+    assert names == ["Base", "TPM", "DRPM", "PDC", "MAID", "Hibernator"]
+
+    capsys.readouterr()
+    assert main(["trace", str(out_path)]) == 0
+    rendered = capsys.readouterr().out
+    for name in names:
+        assert f"== {name} " in rendered
+    assert "MISMATCH" not in rendered
+
+
+def test_sweep_slack_trace_out(tmp_path, capsys):
+    from repro.obs.tracelog import read_jsonl, split_runs
+
+    path = gen(tmp_path)
+    out_path = tmp_path / "events.jsonl"
+    capsys.readouterr()
+    assert main(["sweep-slack", "--trace", str(path), "--disks", "4",
+                 "--epoch", "30", "--slacks", "1.5,3.0",
+                 "--trace-out", str(out_path)]) == 0
+    runs = split_runs(read_jsonl(out_path))
+    # Base plus one Hibernator run per slack value.
+    assert len(runs) == 3
+    assert runs[0][0].policy_name == "Base"
+
+
+def test_trace_on_empty_file(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["trace", str(empty)]) == 0
+    assert "no events" in capsys.readouterr().out

@@ -149,6 +149,31 @@ class TestDegradedArray:
         assert result.failed_requests >= 1
         assert result.num_requests + result.failed_requests == 2
 
+    def test_failed_requests_traced_not_sampled(self, small_config):
+        """Degraded-mode accounting: a failed request contributes no
+        latency sample, but shows up in failed_requests and as a
+        request_failed trace event."""
+        trace = make_trace([0.0, 0.1, 0.2], extents=[5, 6, 5])
+        sim = ArraySimulation(trace, small_config, AlwaysOnPolicy(),
+                              window_s=1.0, observe=True)
+        victim = sim.array.extent_map.disk_of(5)
+        sim.array.fail_disk(victim)
+        result = sim.run()
+
+        failures = [e for e in result.events if e.kind == "request_failed"]
+        assert len(failures) == result.failed_requests >= 1
+        # num_requests counts successfully-served requests only; the
+        # offered load is num_requests + failed_requests.
+        assert result.num_requests + result.failed_requests == 3
+        assert sum(n for _, _, n in result.latency_windows) == result.num_requests
+        for event in failures:
+            assert event.extent == 5
+            assert event.op_kind in ("read", "write")
+        run_end = result.events[-1]
+        assert run_end.kind == "run_end"
+        assert run_end.failed_requests == result.failed_requests
+        assert run_end.num_requests == result.num_requests
+
     def test_degraded_raid_latency_and_energy_shape(self, small_config):
         """One failed disk: reads amplify to N-1 ops, so mean response
         rises, while the dead spindle stops burning power."""

@@ -88,6 +88,25 @@ def test_finish_closes_open_boost():
     assert b.boosted  # state unchanged, only accounting closed
 
 
+def test_finish_is_idempotent():
+    # Regression: finish() used to reset _boost_started to `now`, so a
+    # second finish (or a later exit_boost) double-counted the interval.
+    b = make()
+    b.enter_boost(10.0)
+    b.finish(25.0)
+    b.finish(40.0)
+    assert b.boost_seconds == pytest.approx(15.0)
+
+
+def test_exit_after_finish_does_not_double_count():
+    b = make()
+    b.enter_boost(10.0)
+    b.finish(25.0)
+    b.exit_boost(40.0)
+    assert not b.boosted
+    assert b.boost_seconds == pytest.approx(15.0)
+
+
 def test_should_exit_requires_boosted():
     b = make(credit=0.0)
     for _ in range(5):

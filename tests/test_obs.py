@@ -1,0 +1,300 @@
+"""Tests for the observability layer (repro.obs).
+
+Three properties matter and are pinned here:
+
+1. **zero-overhead-when-disabled** — a run with ``observe=False`` (the
+   default) produces results identical to the pre-observability
+   simulator, and no event objects at all;
+2. **exactness** — the event stream reconciles exactly with the
+   counters the result reports (spinups, speed changes, migrated
+   extents, boost seconds, failures), for any policy, at any ``jobs``;
+3. **portability** — events survive dict/JSONL round-trips, pickling
+   (parallel workers, the result cache), and concatenation of many
+   runs into one file.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+
+import pytest
+
+from repro.analysis.experiments import run_comparison, run_single
+from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
+from repro.obs.events import (
+    EVENT_TYPES,
+    BoostEnter,
+    BoostExit,
+    EpochBoundary,
+    MigrationMove,
+    RunEnd,
+    RunStart,
+    SpeedTransition,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.summary import reconcile, render_run, render_runs
+from repro.obs.tracelog import TraceLog, read_jsonl, split_runs, write_jsonl
+from repro.policies.always_on import AlwaysOnPolicy
+from tests.conftest import poisson_trace
+
+
+def observed_hibernator_run(small_config, goal_s=0.2, seed=11):
+    trace = poisson_trace(rate=30.0, duration=120.0, seed=seed)
+    policy = HibernatorPolicy(HibernatorConfig(epoch_seconds=30.0))
+    return run_single(trace, small_config, policy, goal_s=goal_s, observe=True)
+
+
+class TestEvents:
+    def test_registry_covers_all_kinds(self):
+        expected = {
+            "run_start", "run_end", "epoch", "boost_enter", "boost_exit",
+            "speed_transition", "migration_planned", "migration_move",
+            "migration_cancelled", "request_failed",
+        }
+        assert expected <= set(EVENT_TYPES)
+
+    def test_dict_round_trip(self):
+        event = EpochBoundary(
+            time=600.0, epoch_index=1, configuration="2@15000+6@6000",
+            tier_speeds=(15000, 6000), tier_counts=(2, 6), heat_total=12.5,
+            predicted_response_s=0.012, predicted_energy_joules=4000.0,
+            feasible=True, planned_moves=17, boosted=False,
+            epoch_seconds=600.0,
+        )
+        data = event_to_dict(event)
+        assert data["event"] == "epoch"
+        assert data["tier_speeds"] == [15000, 6000]  # JSON-safe list
+        assert event_from_dict(data) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"event": "nope", "time": 0.0})
+
+    def test_speed_transition_classification(self):
+        up = SpeedTransition(time=1.0, disk=0, from_rpm=0, to_rpm=6000)
+        down = SpeedTransition(time=1.0, disk=0, from_rpm=6000, to_rpm=0)
+        shift = SpeedTransition(time=1.0, disk=0, from_rpm=6000, to_rpm=15000)
+        assert up.is_spinup and not up.is_speed_change
+        assert down.is_spindown and not down.is_speed_change
+        assert shift.is_speed_change and not shift.is_spinup
+
+    def test_events_are_immutable_and_picklable(self):
+        event = BoostEnter(time=5.0, deficit_s=0.4)
+        with pytest.raises(Exception):
+            event.time = 9.0  # type: ignore[misc]
+        assert pickle.loads(pickle.dumps(event)) == event
+
+
+class TestTraceLog:
+    def test_emit_and_filter(self):
+        log = TraceLog()
+        log.emit(BoostEnter(time=1.0, deficit_s=0.1))
+        log.emit(BoostExit(time=2.0, deficit_s=-0.1, boost_seconds_total=1.0))
+        log.emit(BoostEnter(time=3.0, deficit_s=0.2))
+        assert len(log) == 3
+        assert [e.time for e in log] == [1.0, 2.0, 3.0]
+        assert len(log.of_kind("boost_enter")) == 2
+        assert log.of_kind(BoostExit)[0].boost_seconds_total == 1.0
+
+    def test_jsonl_round_trip(self):
+        events = [
+            BoostEnter(time=1.0, deficit_s=0.1),
+            SpeedTransition(time=2.0, disk=3, from_rpm=0, to_rpm=12000),
+            MigrationMove(time=3.0, extent=7, from_disk=1, to_disk=2),
+        ]
+        buf = io.StringIO()
+        assert write_jsonl(events, buf) == 3
+        buf.seek(0)
+        assert read_jsonl(buf) == events
+
+    def test_read_jsonl_reports_bad_line(self):
+        buf = io.StringIO('{"event": "boost_enter", "time": 1.0, "deficit_s": 0.0}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_jsonl(buf)
+
+    def test_split_runs(self):
+        a = RunStart(time=0.0, trace_name="t", policy_name="A", policy_params="",
+                     goal_s=None, num_disks=2, num_extents=8, initial_rpm=(15000, 15000))
+        b = RunStart(time=0.0, trace_name="t", policy_name="B", policy_params="",
+                     goal_s=None, num_disks=2, num_extents=8, initial_rpm=(15000, 15000))
+        mid = BoostEnter(time=1.0, deficit_s=0.1)
+        runs = split_runs([a, mid, b])
+        assert len(runs) == 2
+        assert runs[0] == [a, mid]
+        assert runs[1] == [b]
+        # Events before any run_start form their own leading chunk.
+        assert split_runs([mid, a]) == [[mid], [a]]
+        assert split_runs([]) == []
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(2.0)
+        assert reg.counter("x") is c
+        assert reg.counter("x").value == 3.0
+        assert "x" in reg and len(reg) == 1
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1.0)
+
+    def test_gauge_overwrites(self):
+        g = Gauge("g")
+        g.set(5.0)
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_timer_totals(self):
+        t = Timer("t")
+        t.observe(1.5)
+        t.observe(0.5)
+        assert t.value == pytest.approx(2.0)
+
+    def test_as_dict_sorted_plain_floats(self):
+        reg = MetricsRegistry()
+        reg.gauge("b").set(1.0)
+        reg.counter("a").inc()
+        reg.timer("c").observe(0.25)
+        flat = reg.as_dict()
+        assert list(flat) == ["a", "b", "c"]
+        assert flat == {"a": 1.0, "b": 1.0, "c": 0.25}
+        assert all(type(v) is float for v in flat.values())
+
+
+class TestObservedRuns:
+    def test_disabled_by_default_and_no_events(self, small_config):
+        trace = poisson_trace(rate=20.0, duration=60.0, seed=5)
+        result = run_single(trace, small_config, AlwaysOnPolicy())
+        assert result.events == []
+
+    def test_observe_does_not_change_metrics(self, small_config):
+        """The tier-1 guarantee: tracing must never perturb the physics."""
+        trace = poisson_trace(rate=30.0, duration=120.0, seed=11)
+        policy_cfg = HibernatorConfig(epoch_seconds=30.0)
+        plain = run_single(trace, small_config, HibernatorPolicy(policy_cfg),
+                           goal_s=0.2)
+        observed = run_single(trace, small_config, HibernatorPolicy(policy_cfg),
+                              goal_s=0.2, observe=True)
+        assert observed.events and not plain.events
+        for field in ("num_requests", "failed_requests", "energy_joules",
+                      "mean_response_s", "spinups", "speed_changes",
+                      "migration_extents", "migration_bytes", "sim_end"):
+            assert getattr(plain, field) == getattr(observed, field), field
+        drop_runtime = lambda d: {k: v for k, v in d.items()
+                                  if not k.startswith("runtime_")}
+        assert drop_runtime(plain.extras) == drop_runtime(observed.extras)
+        assert plain.latency_windows == observed.latency_windows
+
+    def test_run_brackets_and_determinism(self, small_config):
+        first = observed_hibernator_run(small_config)
+        again = observed_hibernator_run(small_config)
+        assert first.events[0].kind == "run_start"
+        assert first.events[-1].kind == "run_end"
+        assert all(isinstance(e.time, float) for e in first.events)
+        assert first.events == again.events  # fully deterministic
+
+    def test_reconciles_with_result_counters(self, small_config):
+        result = observed_hibernator_run(small_config)
+        derived = reconcile(result.events)
+        assert derived["spinups"] == result.spinups
+        assert derived["speed_changes"] == result.speed_changes
+        assert derived["migration_extents"] == result.migration_extents
+        assert derived["failed_requests"] == result.failed_requests
+        assert derived["boost_seconds"] == pytest.approx(
+            result.extras.get("boost_seconds", 0.0))
+        assert derived["epochs"] == result.extras["epochs"]
+        assert derived["boosts"] == result.extras.get("boosts", 0.0)
+
+    def test_run_end_mirrors_result(self, small_config):
+        result = observed_hibernator_run(small_config)
+        end = result.events[-1]
+        assert isinstance(end, RunEnd)
+        assert end.num_requests == result.num_requests
+        assert end.energy_joules == pytest.approx(result.energy_joules)
+        assert end.spinups == result.spinups
+        assert end.speed_changes == result.speed_changes
+        assert end.migration_extents == result.migration_extents
+        assert end.migration_bytes == result.migration_bytes
+        assert end.time == pytest.approx(result.sim_end)
+
+    def test_epoch_events_match_records(self, small_config):
+        result = observed_hibernator_run(small_config)
+        epochs = [e for e in result.events if e.kind == "epoch"]
+        assert len(epochs) == result.extras["epochs"]
+        assert [e.epoch_index for e in epochs] == list(range(len(epochs)))
+        for e in epochs:
+            assert sum(e.tier_counts) == small_config.num_disks
+            assert "@" in e.configuration
+
+    def test_result_with_events_pickles(self, small_config):
+        result = observed_hibernator_run(small_config)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.events == result.events
+
+    def test_comparison_all_events_and_parallel_identical(self, small_config, tmp_path):
+        trace = poisson_trace(rate=20.0, duration=60.0, seed=9)
+        kwargs = dict(slack=2.0,
+                      hibernator_config=HibernatorConfig(epoch_seconds=30.0),
+                      observe=True)
+        seq = run_comparison(trace, small_config, **kwargs)
+        par = run_comparison(trace, small_config, jobs=2, **kwargs)
+        assert seq.all_events() == par.all_events()
+        runs = split_runs(seq.all_events())
+        assert [r[0].policy_name for r in runs] == list(seq.results)
+
+    def test_cache_round_trip_preserves_events(self, small_config, tmp_path):
+        from repro.analysis.cache import ResultCache
+        from repro.analysis.parallel import PolicySpec, RunSpec, TraceSpec, execute_one
+
+        trace = poisson_trace(rate=20.0, duration=60.0, seed=9)
+        cache = ResultCache(tmp_path / "cache")
+        spec = RunSpec(trace=TraceSpec.from_trace(trace), array=small_config,
+                       policy=PolicySpec.named("base"), observe=True)
+        cold = execute_one(spec, cache=cache)
+        warm = execute_one(spec, cache=cache)
+        assert cache.hits == 1
+        assert warm.events == cold.events and warm.events
+
+    def test_observe_flag_changes_cache_key(self, small_config, tmp_path):
+        from repro.analysis.cache import ResultCache
+        from repro.analysis.parallel import PolicySpec, RunSpec, TraceSpec
+
+        trace_spec = TraceSpec.from_trace(poisson_trace(rate=20.0, duration=60.0, seed=9))
+        cache = ResultCache(tmp_path / "cache")
+        plain = RunSpec(trace=trace_spec, array=small_config,
+                        policy=PolicySpec.named("base"))
+        observed = RunSpec(trace=trace_spec, array=small_config,
+                           policy=PolicySpec.named("base"), observe=True)
+        assert cache.key_for(plain) != cache.key_for(observed)
+
+
+class TestSummaryRendering:
+    def test_render_run_smoke(self, small_config):
+        result = observed_hibernator_run(small_config)
+        text = render_run(result.events)
+        assert "epoch decisions" in text
+        assert "reconciliation" in text
+        assert "MISMATCH" not in text
+        assert "mean rpm" in text
+
+    def test_render_runs_concatenates(self, small_config):
+        result = observed_hibernator_run(small_config)
+        text = render_runs([result.events, result.events])
+        assert text.count("epoch decisions") == 2
+
+    def test_render_empty(self):
+        text = render_run([])
+        assert "0 events" in text
+        assert "MISMATCH" not in text

@@ -32,6 +32,16 @@ class TestEnergyMeter:
         assert m.breakdown.joules["transition"] == 135.0
         assert m.breakdown.seconds["transition"] == 0.0
 
+    def test_impulse_joules_property(self):
+        m = EnergyMeter(watts=3.0, label="idle")
+        assert m.impulse_joules == 0.0
+        m.add_impulse(100.0, "transition")
+        m.add_impulse(35.0, "transition")
+        m.finish(10.0)
+        # The property exposes only the lump-sum part, not integrated power.
+        assert m.impulse_joules == pytest.approx(135.0)
+        assert m.impulse_joules == pytest.approx(m.breakdown.joules["transition"])
+
     def test_negative_impulse_raises(self):
         with pytest.raises(ValueError):
             EnergyMeter().add_impulse(-1.0, "x")

@@ -30,6 +30,8 @@ MODULES = [
     "repro.analysis.report", "repro.analysis.sweeps",
     "repro.analysis.parallel", "repro.analysis.cache",
     "repro.analysis.ascii_plot", "repro.analysis.export",
+    "repro.obs", "repro.obs.events", "repro.obs.metrics",
+    "repro.obs.tracelog", "repro.obs.summary",
     "repro.cli",
 ]
 

@@ -164,12 +164,14 @@ class TestWindowAverage:
         assert points[0] == (0.0, 5.0, 2)
         assert points[1] == (10.0, 10.0, 1)
 
-    def test_empty_windows_recorded(self):
+    def test_empty_windows_recorded_as_nan(self):
+        # An empty window has no mean; 0.0 would be indistinguishable
+        # from a genuine zero-latency window.
         w = WindowAverage(width=5.0)
         w.add(12.0, 1.0)
         points = w.finish(13.0)
-        assert points[0] == (0.0, 0.0, 0)
-        assert points[1] == (5.0, 0.0, 0)
+        assert points[0][0] == 0.0 and math.isnan(points[0][1]) and points[0][2] == 0
+        assert points[1][0] == 5.0 and math.isnan(points[1][1]) and points[1][2] == 0
         assert points[2] == (10.0, 1.0, 1)
 
     def test_finish_is_complete(self):
