@@ -7,7 +7,6 @@ little more energy — the trade the guarantee exists to refuse).
 
 from __future__ import annotations
 
-import dataclasses
 
 import numpy as np
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 import typing
 from dataclasses import dataclass, field, replace
 
-import numpy as np
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.energy import savings_fraction

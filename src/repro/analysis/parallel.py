@@ -33,7 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.analysis.cache import ResultCache, content_key
+from repro.analysis.cache import ResultCache
 from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
 from repro.disks.array import ArrayConfig
 from repro.policies.always_on import AlwaysOnPolicy

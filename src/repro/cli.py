@@ -325,6 +325,57 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _rule_id_list(text: str | None) -> list[str] | None:
+    if text is None:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.lint import (
+        check_code_version_bump,
+        lint,
+        render_json,
+        render_rule_list,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        # Prefer the source tree when run from a checkout; fall back to
+        # wherever the package is importable from.
+        default = Path("src/repro")
+        paths = [str(default if default.is_dir() else Path(repro.__file__).parent)]
+
+    extra = []
+    if args.guard_base:
+        extra = check_code_version_bump(Path.cwd(), args.guard_base)
+
+    try:
+        result = lint(
+            paths,
+            select=_rule_id_list(args.select),
+            ignore=_rule_id_list(args.ignore),
+            extra_findings=extra,
+        )
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 1 if result.findings else 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.analysis.cache import CODE_VERSION, ResultCache
 
@@ -405,6 +456,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=64,
                    help="timeline width in characters (default 64)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the simulator-aware static-analysis pass",
+        description="Static analysis enforcing the repo's reproduction "
+                    "invariants: determinism (DET*), unit consistency "
+                    "(UNIT*), cache-key completeness (CACHE*) and "
+                    "observability pairing (OBS*). Exit codes: 0 clean, "
+                    "1 findings, 2 usage error.",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: the repro package)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default text)")
+    p.add_argument("--select", help="comma-separated rule ids to run exclusively")
+    p.add_argument("--ignore", help="comma-separated rule ids to skip")
+    p.add_argument("--guard-base",
+                   help="git ref to diff against for the CODE_VERSION bump "
+                        "guard (CACHE002); omit to skip the guard")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also list suppressed findings (text format)")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
     p.add_argument("--cache-dir", required=True, help="cache directory")

@@ -31,7 +31,7 @@ hot-to-fast layout family.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,29 @@
+"""repro.lint: simulator-aware static analysis.
+
+A small AST-based linter that enforces the invariants this repo's
+reproduction guarantees rest on — determinism of result-producing code,
+unit-suffix consistency, cache-key completeness, and observability
+pairing. See ``docs/linting.md`` for the rule catalog and suppression
+syntax, and run it via ``repro lint``.
+"""
+
+from repro.lint.engine import LintResult, discover_files, lint
+from repro.lint.findings import Finding, Severity
+from repro.lint.guard import check_code_version_bump
+from repro.lint.registry import Rule, all_rules, register
+from repro.lint.reporters import render_json, render_rule_list, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "check_code_version_bump",
+    "discover_files",
+    "lint",
+    "register",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+]

@@ -1,0 +1,54 @@
+"""Finding and severity types shared by the whole lint subsystem.
+
+A :class:`Finding` is one rule violation anchored to a ``path:line:col``
+span. Findings are frozen and ordered so reports are deterministic:
+two lint runs over the same tree produce byte-identical output, which is
+itself one of the invariants this subsystem exists to defend.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How strongly a rule's finding gates the exit code."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one program point.
+
+    Ordering is (path, line, col, rule_id) so reporter output is stable
+    regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` prefix used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-safe form (the JSON reporter's stable schema)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

@@ -1,0 +1,103 @@
+"""CODE_VERSION bump guard (CACHE002).
+
+The result cache folds ``repro.analysis.cache.CODE_VERSION`` into every
+content key so that changing simulator *code* invalidates cached
+*results*. That only works if humans remember to bump the constant.
+This guard makes forgetting loud: it diffs the working tree against a
+base git revision and fails when any file under the semantics-bearing
+packages (``core``, ``sim``, ``disks``, ``policies``) changed while
+``CODE_VERSION`` did not.
+
+Unlike the AST rules this needs git history, so it runs only when the
+CLI is given ``--guard-base`` (CI passes the PR base ref). Its findings
+carry rule id ``CACHE002`` and flow through the same selection,
+suppression and reporting machinery as everything else.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from pathlib import Path
+
+from repro.lint.findings import Finding, Severity
+
+#: Packages whose changes demand a CODE_VERSION bump.
+_SENSITIVE = re.compile(r"^src/repro/(core|sim|disks|policies)/.*\.py$")
+
+_CACHE_MODULE = "src/repro/analysis/cache.py"
+
+_VERSION_RE = re.compile(r'^CODE_VERSION\s*=\s*["\']([^"\']+)["\']', re.MULTILINE)
+
+
+def _git(repo: Path, *args: str) -> str | None:
+    """Run git in ``repo``; None on any failure (not a repo, bad ref)."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(repo), *args],
+            capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout
+
+
+def _version_in(text: str) -> str | None:
+    match = _VERSION_RE.search(text)
+    return match.group(1) if match else None
+
+
+def check_code_version_bump(repo: Path, base: str) -> list[Finding]:
+    """CACHE002 findings for ``repo`` diffed against git ref ``base``.
+
+    Uses the merge-base of ``base`` and HEAD when one exists (so CI can
+    pass the target branch directly), falling back to ``base`` itself.
+    Unreadable history degrades to a single finding rather than a crash,
+    so CI misconfiguration cannot silently disable the guard.
+    """
+    merge_base = _git(repo, "merge-base", base, "HEAD")
+    anchor = merge_base.strip() if merge_base else base
+
+    # Diff the anchor against the *working tree* (not HEAD) so locally
+    # uncommitted simulator changes are seen too; in CI the two agree.
+    diff = _git(repo, "diff", "--name-only", anchor, "--")
+    if diff is None:
+        return [Finding(
+            path=_CACHE_MODULE, line=1, col=0,
+            rule_id="CACHE002", severity=Severity.ERROR,
+            message=f"cannot diff against {base!r}; CODE_VERSION guard "
+                    "could not run (is the base ref fetched?)",
+        )]
+
+    changed = [line for line in diff.splitlines() if _SENSITIVE.match(line)]
+    if not changed:
+        return []
+
+    base_cache = _git(repo, "show", f"{anchor}:{_CACHE_MODULE}")
+    if base_cache is None:
+        # The cache module did not exist at base: any version passes.
+        return []
+    old_version = _version_in(base_cache)
+
+    cache_path = repo / _CACHE_MODULE
+    try:
+        new_version = _version_in(cache_path.read_text(encoding="utf-8"))
+    except OSError:
+        new_version = None
+
+    if old_version is not None and old_version == new_version:
+        sample = ", ".join(changed[:3]) + ("..." if len(changed) > 3 else "")
+        line = 1
+        match = _VERSION_RE.search(cache_path.read_text(encoding="utf-8"))
+        if match is not None:
+            line = cache_path.read_text(encoding="utf-8")[:match.start()].count("\n") + 1
+        return [Finding(
+            path=_CACHE_MODULE, line=line, col=0,
+            rule_id="CACHE002", severity=Severity.ERROR,
+            message=f"simulator code changed ({sample}) but CODE_VERSION "
+                    f"is still {old_version!r}; bump it so cached results "
+                    "from the old code cannot be served for the new code",
+        )]
+    return []

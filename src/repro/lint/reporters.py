@@ -1,0 +1,60 @@
+"""Finding reporters: human-readable text and machine-stable JSON.
+
+The JSON schema is versioned (top-level ``"schema": 1``) and covered by
+a snapshot test; changing any key is a breaking change for CI consumers
+and must bump the schema number.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.engine import LintResult
+from repro.lint.registry import all_rules
+
+#: Bump when the JSON reporter's key layout changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """GCC-style ``path:line:col: SEV RULE message`` lines plus a tally."""
+    lines = [
+        f"{f.location()}: {f.severity} {f.rule_id} {f.message}"
+        for f in result.findings
+    ]
+    if verbose:
+        lines.extend(
+            f"{f.location()}: suppressed {f.rule_id} {f.message}"
+            for f in result.suppressed
+        )
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"{len(result.findings)} {noun} "
+        f"({len(result.suppressed)} suppressed) "
+        f"in {result.files_checked} files"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document for CI and tooling."""
+    doc: dict[str, Any] = {
+        "schema": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed_count": len(result.suppressed),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """One line per registered rule for ``repro lint --list-rules``."""
+    rows = []
+    for rule_id in sorted(all_rules()):
+        rule = all_rules()[rule_id]
+        scope = ", ".join(rule.scopes) if rule.scopes else "all modules"
+        rows.append(f"{rule_id}  {rule.severity}  {rule.name}\n"
+                    f"        {rule.description}\n"
+                    f"        scope: {scope}")
+    return "\n".join(rows)

@@ -1,0 +1,14 @@
+"""Built-in rule modules; importing this package registers every rule.
+
+Rule id namespaces:
+
+* ``DET00x`` — determinism (:mod:`repro.lint.rules.determinism`)
+* ``UNIT00x`` — unit consistency (:mod:`repro.lint.rules.units`)
+* ``CACHE00x`` — cache-key completeness (:mod:`repro.lint.rules.cachekey`)
+* ``OBS00x`` — observability pairing (:mod:`repro.lint.rules.obspairing`)
+* ``LINT00x/9xx`` — engine pseudo-rules (:mod:`repro.lint.engine`)
+"""
+
+from repro.lint.rules import cachekey, determinism, obspairing, units
+
+__all__ = ["cachekey", "determinism", "obspairing", "units"]

@@ -1,0 +1,124 @@
+"""Cache-key completeness rule (CACHE001).
+
+The result cache keys runs by content hash: every spec dataclass either
+exposes an explicit ``cache_key()`` or is canonicalized field-by-field
+by ``repro.analysis.cache._canonical``. The failure mode this rule
+guards against is the *explicit* path drifting: someone adds a field to
+``TraceSpec``/``PolicySpec`` that changes behaviour, forgets to thread
+it through ``cache_key()``, and the cache silently aliases two different
+runs onto one key — returning stale results that look perfectly valid.
+
+CACHE001 therefore requires that every non-ClassVar field of a dataclass
+that defines ``cache_key`` is *referenced* somewhere inside that method
+(as ``self.<field>``, a bare name, or a string key). Fields that are
+deliberately excluded must be suppressed inline with a reason, which
+turns an invisible omission into a reviewed decision.
+
+The companion CODE_VERSION guard (CACHE002) lives in
+:mod:`repro.lint.guard` because it needs git history, not an AST.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext, ProjectContext
+from repro.lint.findings import Severity
+from repro.lint.registry import Rule, register
+
+_DATACLASS_NAMES = {"dataclass", "dataclasses.dataclass"}
+
+
+def _is_dataclass(ctx: FileContext, node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = ctx.qualified_call_name(target)
+        if name in _DATACLASS_NAMES:
+            return True
+    return False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    node = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    if isinstance(node, ast.Name):
+        return node.id == "ClassVar"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ClassVar"
+    return False
+
+
+def _field_defs(node: ast.ClassDef) -> Iterator[tuple[str, ast.AnnAssign]]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if not _is_classvar(stmt.annotation):
+                yield stmt.target.id, stmt
+
+
+def _referenced_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Identifiers a ``cache_key`` body can reach a field through:
+    ``self.x`` attributes, bare names, and string constants (dict keys
+    like ``{"trace": ...}`` count as referencing ``trace``)."""
+    names: set[str] = set()
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            names.add(sub.value)
+    return names
+
+
+def check_cache_key_completeness(
+    ctx: FileContext, project: ProjectContext
+) -> Iterator[tuple[int, int, str]]:
+    """CACHE001: every field of a cache_key-bearing dataclass reaches it."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef) or not _is_dataclass(ctx, node):
+            continue
+        cache_key = next(
+            (stmt for stmt in node.body
+             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+             and stmt.name == "cache_key"),
+            None,
+        )
+        if cache_key is None:
+            continue
+        reachable = _referenced_names(cache_key)
+        for field_name, stmt in _field_defs(node):
+            if field_name not in reachable:
+                yield (stmt.lineno, stmt.col_offset,
+                       f"field '{field_name}' of {node.name} never reaches "
+                       "cache_key(); include it or suppress with a reason — "
+                       "omitted fields alias distinct runs onto one cache key")
+
+
+register(Rule(
+    rule_id="CACHE001",
+    name="cache-key-completeness",
+    description="every field of a dataclass with cache_key() must be referenced in it",
+    severity=Severity.ERROR,
+    scopes=(),
+    check=check_cache_key_completeness,
+))
+
+#: CACHE002 (CODE_VERSION guard) is registered here so selection and
+#: suppression treat it like any rule, but its findings are produced by
+#: repro.lint.guard from git history rather than from file ASTs.
+
+
+def _no_findings(
+    ctx: FileContext, project: ProjectContext
+) -> Iterator[tuple[int, int, str]]:
+    return iter(())
+
+
+register(Rule(
+    rule_id="CACHE002",
+    name="code-version-guard",
+    description="CODE_VERSION must be bumped when simulator semantics change",
+    severity=Severity.ERROR,
+    scopes=(),
+    check=_no_findings,
+))

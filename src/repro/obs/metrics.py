@@ -25,6 +25,8 @@ name with a different type is a bug and raises.
 
 from __future__ import annotations
 
+from typing import TypeVar
+
 
 class Counter:
     """Monotonic counter."""
@@ -75,6 +77,10 @@ class Timer:
         return self.total
 
 
+#: Constrained so ``_get`` returns exactly the instrument type asked for.
+_InstrumentT = TypeVar("_InstrumentT", Counter, Gauge, Timer)
+
+
 class MetricsRegistry:
     """Get-or-create registry of named instruments.
 
@@ -88,7 +94,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Timer] = {}
 
-    def _get(self, name: str, cls: type) -> "Counter | Gauge | Timer":
+    def _get(self, name: str, cls: type[_InstrumentT]) -> _InstrumentT:
         existing = self._instruments.get(name)
         if existing is not None:
             if not isinstance(existing, cls):
@@ -102,13 +108,13 @@ class MetricsRegistry:
         return instrument
 
     def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)  # type: ignore[return-value]
+        return self._get(name, Counter)
 
     def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)  # type: ignore[return-value]
+        return self._get(name, Gauge)
 
     def timer(self, name: str) -> Timer:
-        return self._get(name, Timer)  # type: ignore[return-value]
+        return self._get(name, Timer)
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments

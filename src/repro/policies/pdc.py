@@ -15,7 +15,6 @@ from __future__ import annotations
 import typing
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.migration import MigrationExecutor, MigrationPlan
 from repro.core.temperature import HeatTracker

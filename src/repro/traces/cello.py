@@ -38,7 +38,7 @@ class CelloConfig:
     peak_hour: float = 14.0
     burst_fraction: float = 0.4
     burst_intensity: float = 3.0
-    burst_period: float = 600.0
+    burst_period_s: float = 600.0
     num_extents: int = 2400
     zipf_theta: float = 1.1
     drift_per_day: float = 0.05
@@ -81,7 +81,7 @@ def diurnal_envelope(config: CelloConfig) -> "np.ufunc":
 
 def _burst_wave(config: CelloConfig) -> "np.ufunc":
     """Square-wave multiplier: ``burst_intensity`` during the on-phase of
-    each ``burst_period``, compensating during the off-phase so the mean
+    each ``burst_period_s``, compensating during the off-phase so the mean
     multiplier is 1."""
     on = config.burst_fraction
     if on == 0.0 or config.burst_intensity == 1.0:
@@ -90,7 +90,7 @@ def _burst_wave(config: CelloConfig) -> "np.ufunc":
     lo = max(0.0, (1.0 - on * hi) / (1.0 - on)) if on < 1.0 else hi
 
     def wave(t: np.ndarray) -> np.ndarray:
-        phase = np.mod(np.asarray(t), config.burst_period) / config.burst_period
+        phase = np.mod(np.asarray(t), config.burst_period_s) / config.burst_period_s
         return np.where(phase < on, hi, lo)
 
     return wave

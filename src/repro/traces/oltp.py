@@ -31,6 +31,7 @@ class OltpConfig:
     reachable.
     """
 
+    # repro: lint-ok[UNIT002] established trace-config field, documented as seconds
     duration: float = 4 * 3600.0
     rate: float = 500.0
     num_extents: int = 2400

@@ -180,6 +180,7 @@ class SyntheticConfig:
     """
 
     name: str = "synthetic"
+    # repro: lint-ok[UNIT002] established trace-config field, documented as seconds
     duration: float = 3600.0
     rate: float = 100.0
     num_extents: int = 2400

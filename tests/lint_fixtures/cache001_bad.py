@@ -1,0 +1,14 @@
+"""Fixture: CACHE001 violation (field missing from cache_key)."""
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class Spec:
+    name: str
+    params: dict
+    retries: int = 3  # CACHE001: never reaches cache_key
+
+    def cache_key(self) -> dict[str, Any]:
+        return {"name": self.name, "params": self.params}

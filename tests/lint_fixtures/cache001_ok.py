@@ -1,0 +1,22 @@
+"""Fixture: compliant cache_key coverage (every field referenced)."""
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+
+@dataclass
+class Spec:
+    name: str
+    params: dict
+    retries: int = 3
+    SCHEMA: ClassVar[int] = 1  # ClassVar: not part of the value
+
+    def cache_key(self) -> dict[str, Any]:
+        return {"name": self.name, "params": self.params, "retries": self.retries}
+
+
+@dataclass
+class PlainSpec:
+    # No cache_key at all: canonicalized field-by-field, nothing to check.
+    name: str
+    retries: int = 3

@@ -1,0 +1,12 @@
+"""Fixture: DET001 violations (unseeded numpy RNGs)."""
+
+import numpy as np
+
+
+def unseeded():
+    rng = np.random.default_rng()  # DET001: no seed
+    return rng.random()
+
+
+def global_state():
+    return np.random.random()  # DET001: hidden global RNG

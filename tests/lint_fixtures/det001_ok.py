@@ -1,0 +1,13 @@
+"""Fixture: compliant numpy RNG use (seeded, spawned)."""
+
+import numpy as np
+
+
+def seeded(seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.random()
+
+
+def spawned(seed: int, n: int):
+    children = np.random.SeedSequence(seed).spawn(n)
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,13 @@
+"""Fixture: DET002 violations (stdlib global RNG)."""
+
+import random
+from random import shuffle
+
+
+def pick(items):
+    return random.choice(items)  # DET002
+
+
+def mix(items):
+    shuffle(items)  # DET002 via from-import
+    return items

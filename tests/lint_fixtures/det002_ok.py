@@ -1,0 +1,8 @@
+"""Fixture: compliant stdlib randomness (seeded instance)."""
+
+import random
+
+
+def pick(items, seed: int):
+    rng = random.Random(seed)
+    return rng.choice(items)

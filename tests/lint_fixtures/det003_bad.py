@@ -1,0 +1,17 @@
+"""Fixture: DET003 violations (wall-clock reads)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()  # DET003
+
+
+def tick():
+    started = time.perf_counter()  # DET003
+    return started
+
+
+def today():
+    return datetime.now()  # DET003

@@ -1,0 +1,11 @@
+"""Fixture: compliant time handling (simulated clock + suppression)."""
+
+import time
+
+
+def simulated(engine):
+    return engine.now
+
+
+def instrumented():
+    return time.perf_counter()  # repro: lint-ok[DET003] fixture instrumentation

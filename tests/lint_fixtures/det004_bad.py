@@ -1,0 +1,18 @@
+"""Fixture: DET004 violations (iteration over bare sets)."""
+
+
+def literal():
+    total = 0
+    for x in {3, 1, 2}:  # DET004
+        total += x
+    return total
+
+
+def annotated(pending: set[int]):
+    return [x * 2 for x in pending]  # DET004
+
+
+def materialize():
+    failed = set()
+    failed.add(1)
+    return list(failed)  # DET004

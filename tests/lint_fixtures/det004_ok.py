@@ -1,0 +1,9 @@
+"""Fixture: compliant set consumption (sorted / order-insensitive)."""
+
+
+def ordered(pending: set[int]):
+    return [x * 2 for x in sorted(pending)]
+
+
+def aggregate(failed: set[int]):
+    return len(failed), min(failed), any(x > 3 for x in sorted(failed))

@@ -1,0 +1,9 @@
+"""Fixture: OBS001 violation (counter increment with no paired emit)."""
+
+
+class Policy:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def on_epoch(self):
+        self.metrics.counter("epochs").inc()  # OBS001: nothing emitted

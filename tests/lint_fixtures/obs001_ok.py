@@ -1,0 +1,27 @@
+"""Fixture: compliant counter/trace pairing (direct and via a callee)."""
+
+
+class Executor:
+    def __init__(self, emit):
+        self.emit = emit
+
+    def start(self, plan):
+        if self.emit is not None:
+            self.emit(plan)
+
+
+class Policy:
+    def __init__(self, metrics, executor, emit):
+        self.metrics = metrics
+        self.executor = executor
+        self.emit = emit
+
+    def on_epoch(self):
+        self.metrics.counter("epochs").inc()
+        if self.emit is not None:
+            self.emit("epoch")
+
+    def on_period(self, plan):
+        # No direct emit; the callee carries the guarded emit.
+        self.metrics.counter("periods").inc()
+        self.executor.start(plan)

@@ -1,0 +1,13 @@
+"""Fixture: OBS002 violations (unguarded emit calls)."""
+
+
+class Source:
+    def __init__(self, emit):
+        self.emit = emit
+
+    def fire(self, event):
+        self.emit(event)  # OBS002: no None guard
+
+    def wrong_guard(self, event, enabled):
+        if enabled:
+            self.emit(event)  # OBS002: guard tests the wrong thing

@@ -1,0 +1,19 @@
+"""Fixture: compliant guarded emits (hook or holder tested)."""
+
+
+class Source:
+    def __init__(self, emit, sink):
+        self.emit = emit
+        self.sink = sink
+
+    def fire(self, event):
+        if self.emit is not None:
+            self.emit(event)
+
+    def conjoined(self, event, important):
+        if important and self.emit is not None:
+            self.emit(event)
+
+    def via_holder(self, event):
+        if self.sink is not None:
+            self.sink.emit(event)

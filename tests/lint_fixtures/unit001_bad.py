@@ -1,0 +1,14 @@
+"""Fixture: UNIT001 violations (mixed-unit arithmetic)."""
+
+
+def total(delay_s: float, timeout_ms: float) -> float:
+    return delay_s + timeout_ms  # UNIT001: s + ms
+
+
+def overload(power_watts: float, budget_joules: float) -> bool:
+    return power_watts > budget_joules  # UNIT001: W vs J
+
+
+def accumulate(idle_s: float, grace_ms: float) -> float:
+    idle_s += grace_ms  # UNIT001: s += ms
+    return idle_s

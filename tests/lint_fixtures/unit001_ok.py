@@ -1,0 +1,15 @@
+"""Fixture: compliant unit arithmetic (same unit, or explicit conversion)."""
+
+
+def total(delay_s: float, timeout_s: float) -> float:
+    return delay_s + timeout_s
+
+
+def converted(delay_s: float, timeout_ms: float) -> float:
+    timeout_s = timeout_ms / 1000.0
+    return delay_s + timeout_s
+
+
+def energy(power_watts: float, window_s: float) -> float:
+    # Multiplication across units is the point: W x s = J.
+    return power_watts * window_s

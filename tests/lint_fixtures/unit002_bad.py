@@ -1,0 +1,13 @@
+"""Fixture: UNIT002 violations (suffixless quantity defaults)."""
+
+from dataclasses import dataclass
+
+
+def wait(timeout=30):  # UNIT002: timeout in... seconds? ms?
+    return timeout
+
+
+@dataclass
+class Knobs:
+    period: float = 3600.0  # UNIT002
+    spin_delay: float = 0.5  # UNIT002

@@ -1,0 +1,15 @@
+"""Fixture: compliant quantity defaults (unit named, or not a quantity)."""
+
+from dataclasses import dataclass
+
+
+def wait(timeout_s=30.0):
+    return timeout_s
+
+
+@dataclass
+class Knobs:
+    period_s: float = 3600.0
+    spin_delay_ms: float = 500.0
+    max_moves_per_period: int = 500  # a count, not a quantity
+    fill_fraction: float = 0.9

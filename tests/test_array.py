@@ -8,7 +8,7 @@ import pytest
 
 from repro.disks.array import ArrayConfig, DiskArray
 from repro.sim.engine import Engine
-from repro.sim.request import IoKind, Request, RequestClass
+from repro.sim.request import IoKind, Request
 
 
 def make_request(extent: int, kind: IoKind = IoKind.READ, req_id: int = 0) -> Request:

@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.cache import CODE_VERSION, ResultCache, content_key
+from repro.analysis.parallel import RunSpec
 from repro.disks.array import ArrayConfig
 from repro.disks.specs import make_multispeed_spec
 
@@ -111,3 +112,103 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         assert cache.key_for_call("f", 1) != cache.key_for_call("g", 1)
         assert cache.key_for_call("f", 1) != cache.key_for_call("f", 2)
+
+
+# -- cache-key completeness audit --------------------------------------------
+#
+# The cache keys a run by the content of its spec; a spec field that
+# never reaches the key aliases two different runs onto one entry and
+# silently serves stale results. These tests pin down that EVERY field
+# of ArrayConfig and RunSpec perturbs the run key. New fields fail the
+# test until a perturbation is registered here, which is the audit.
+
+def _perturbed_spec():
+    from repro.disks.specs import make_multispeed_spec as mk
+
+    return mk(num_levels=4)
+
+
+_ARRAY_PERTURB = {
+    "num_disks": lambda v: v + 1,
+    "spec": lambda v: _perturbed_spec(),
+    "num_extents": lambda v: v + 1,
+    "extent_bytes": lambda v: v * 2,
+    "slack_fraction": lambda v: v + 0.05,
+    "raid5": lambda v: not v,
+    "deterministic_latency": lambda v: not v,
+    "seed": lambda v: v + 1,
+    "initial_layout": lambda v: "perturbed",
+    "initial_disks": lambda v: (0, 1),
+    "slots_override": lambda v: 4096,
+    "scheduler": lambda v: "sstf",
+    "write_cache": lambda v: not v,
+    "write_cache_latency_s": lambda v: v * 2,
+}
+
+_RUN_PERTURB = {
+    "trace": lambda v: dataclasses.replace(
+        v, config=dataclasses.replace(v.config, seed=v.config.seed + 1)),
+    "array": lambda v: dataclasses.replace(v, seed=v.seed + 1),
+    "policy": lambda v: _policy_spec("tpm"),
+    "goal_s": lambda v: 0.25,
+    "window_s": lambda v: 60.0,
+    "keep_latency_samples": lambda v: not v,
+    "observe": lambda v: not v,
+}
+
+
+def _array_config():
+    return ArrayConfig(num_disks=4, spec=make_multispeed_spec(num_levels=3), num_extents=80)
+
+
+def _policy_spec(name):
+    from repro.analysis.parallel import PolicySpec
+
+    return PolicySpec.named(name)
+
+
+def _run_spec(config):
+    from repro.analysis.parallel import RunSpec, TraceSpec
+    from repro.traces.synthetic import SyntheticConfig
+
+    return RunSpec(
+        trace=TraceSpec.from_generator("synthetic", SyntheticConfig(duration=10.0)),
+        array=config,
+        policy=_policy_spec("base"),
+    )
+
+
+class TestArrayConfigKeyCompleteness:
+    @pytest.mark.parametrize(
+        "name", [f.name for f in dataclasses.fields(ArrayConfig)])
+    def test_every_field_perturbs_the_run_key(self, name):
+        assert name in _ARRAY_PERTURB, (
+            f"new ArrayConfig field {name!r} has no perturbation registered; "
+            "add one here and confirm it reaches the cache key")
+        cfg = _array_config()
+        changed = dataclasses.replace(
+            cfg, **{name: _ARRAY_PERTURB[name](getattr(cfg, name))})
+        assert content_key(_run_spec(cfg)) != content_key(_run_spec(changed)), (
+            f"ArrayConfig.{name} does not reach the run cache key: two runs "
+            "differing only in it would alias to one cached result")
+
+    def test_deterministic_latency_modes_never_share_a_cache_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        det = dataclasses.replace(_array_config(), deterministic_latency=True)
+        stoch = dataclasses.replace(_array_config(), deterministic_latency=False)
+        cache.put(cache.key_for(_run_spec(det)), "deterministic-result")
+        assert cache.get(cache.key_for(_run_spec(stoch))) is None
+
+
+class TestRunSpecKeyCompleteness:
+    @pytest.mark.parametrize("name", [
+        f.name for f in dataclasses.fields(RunSpec)])
+    def test_every_field_perturbs_the_key(self, name):
+        assert name in _RUN_PERTURB, (
+            f"new RunSpec field {name!r} has no perturbation registered; "
+            "add one here and confirm it reaches the cache key")
+        spec = _run_spec(_array_config())
+        changed = dataclasses.replace(
+            spec, **{name: _RUN_PERTURB[name](getattr(spec, name))})
+        assert content_key(spec) != content_key(changed), (
+            f"RunSpec.{name} does not reach the cache key")

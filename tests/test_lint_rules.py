@@ -1,0 +1,73 @@
+"""Per-rule tests: each rule fires on its bad fixture and stays silent
+on the compliant one.
+
+Fixture files live in ``tests/lint_fixtures/`` (named without a
+``test_`` prefix so pytest never collects them). They resolve outside
+the ``repro`` package, which the engine treats as in-scope for every
+rule — that is how scoped rules (DET*, OBS*) are exercised without
+faking a package layout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+RULES = ["DET001", "DET002", "DET003", "DET004",
+         "UNIT001", "UNIT002", "CACHE001", "OBS001", "OBS002"]
+
+
+def _findings(filename: str, rule_id: str):
+    # One file per lint() call: cross-file analyses (OBS001) must not
+    # see the compliant twin while judging the bad fixture.
+    result = lint([FIXTURES / filename], select=[rule_id])
+    return result
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_rule_fires_on_bad_fixture(rule_id):
+    result = _findings(f"{rule_id.lower()}_bad.py", rule_id)
+    assert result.findings, f"{rule_id} missed every violation in its bad fixture"
+    assert all(f.rule_id == rule_id for f in result.findings)
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_rule_silent_on_ok_fixture(rule_id):
+    result = _findings(f"{rule_id.lower()}_ok.py", rule_id)
+    assert not result.findings, (
+        f"{rule_id} false-positives on compliant code: "
+        + "; ".join(f"{f.line}:{f.message}" for f in result.findings))
+
+
+def test_expected_bad_fixture_counts():
+    """Pin the exact violation count per bad fixture so rule regressions
+    (weaker *or* stronger matching) surface as a diff here."""
+    expected = {
+        "DET001": 2, "DET002": 2, "DET003": 3, "DET004": 3,
+        "UNIT001": 3, "UNIT002": 3, "CACHE001": 1, "OBS001": 1, "OBS002": 2,
+    }
+    for rule_id, count in expected.items():
+        result = _findings(f"{rule_id.lower()}_bad.py", rule_id)
+        assert len(result.findings) == count, (
+            f"{rule_id}: expected {count} findings, got "
+            f"{[(f.line, f.message) for f in result.findings]}")
+
+
+def test_det003_suppression_in_ok_fixture_is_counted():
+    result = _findings("det003_ok.py", "DET003")
+    assert not result.findings
+    assert len(result.suppressed) == 1
+    assert result.suppressed[0].rule_id == "DET003"
+
+
+def test_findings_carry_file_line_col_spans():
+    result = _findings("det001_bad.py", "DET001")
+    for f in result.findings:
+        assert f.path.endswith("det001_bad.py")
+        assert f.line > 0 and f.col >= 0
+        assert f.location() == f"{f.path}:{f.line}:{f.col}"

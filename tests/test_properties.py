@@ -3,7 +3,6 @@ invariants."""
 
 from __future__ import annotations
 
-import heapq
 
 import numpy as np
 import pytest

@@ -32,6 +32,11 @@ MODULES = [
     "repro.analysis.ascii_plot", "repro.analysis.export",
     "repro.obs", "repro.obs.events", "repro.obs.metrics",
     "repro.obs.tracelog", "repro.obs.summary",
+    "repro.lint", "repro.lint.findings", "repro.lint.context",
+    "repro.lint.registry", "repro.lint.engine", "repro.lint.reporters",
+    "repro.lint.guard", "repro.lint.rules", "repro.lint.rules.determinism",
+    "repro.lint.rules.units", "repro.lint.rules.cachekey",
+    "repro.lint.rules.obspairing",
     "repro.cli",
 ]
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.disks.specs import DiskSpec, make_multispeed_spec, ultrastar_36z15
+from repro.disks.specs import make_multispeed_spec, ultrastar_36z15
 
 
 def test_default_levels_are_evenly_spaced():

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 
 import numpy as np
 import pytest
@@ -12,7 +11,6 @@ from repro.core.response_model import MG1ResponseModel
 from repro.core.speed_setting import solve_utilization_assignment
 from repro.disks.mechanics import DiskMechanics
 from repro.disks.specs import ultrastar_36z15
-from repro.policies.always_on import AlwaysOnPolicy
 from repro.sim.runner import ArraySimulation
 from repro.traces.tracestats import per_extent_rates
 from tests.conftest import poisson_trace
