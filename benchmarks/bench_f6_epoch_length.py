@@ -39,7 +39,7 @@ def drifting_trace():
         days=4.0, day_length_s=DAY_S,
         day_rate=60.0, night_rate=10.0,
         drift_per_day=0.3, zipf_theta=1.2,
-        burst_period=300.0, num_extents=800, seed=76,
+        burst_period_s=300.0, num_extents=800, seed=76,
     ))
 
 

@@ -73,7 +73,7 @@ def bench_oltp_trace():
 def bench_cello_trace(days: float = 1.0, seed: int = 72):
     return generate_cello(CelloConfig(
         days=days, day_rate=CELLO_DAY_RATE, night_rate=CELLO_NIGHT_RATE,
-        day_length_s=CELLO_DAY_LENGTH_S, burst_period=300.0,
+        day_length_s=CELLO_DAY_LENGTH_S, burst_period_s=300.0,
         num_extents=OLTP_EXTENTS, seed=seed,
     ))
 

@@ -29,7 +29,7 @@ def main() -> None:
     trace = generate_cello(CelloConfig(
         days=1.0, day_length_s=DAY_S,
         day_rate=60.0, night_rate=3.0,
-        burst_period=300.0, num_extents=800, seed=3,
+        burst_period_s=300.0, num_extents=800, seed=3,
     ))
     config = default_array_config(num_disks=8, num_extents=800)
 

@@ -341,6 +341,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         render_json,
         render_rule_list,
         render_text,
+        resolve_repo_root,
     )
 
     if args.list_rules:
@@ -356,7 +357,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     extra = []
     if args.guard_base:
-        extra = check_code_version_bump(Path.cwd(), args.guard_base)
+        extra = check_code_version_bump(resolve_repo_root(), args.guard_base)
 
     try:
         result = lint(
@@ -373,7 +374,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(render_json(result))
     else:
         print(render_text(result, verbose=args.verbose))
-    return 1 if result.findings else 0
+    return 1 if result.has_errors else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -463,8 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Static analysis enforcing the repo's reproduction "
                     "invariants: determinism (DET*), unit consistency "
                     "(UNIT*), cache-key completeness (CACHE*) and "
-                    "observability pairing (OBS*). Exit codes: 0 clean, "
-                    "1 findings, 2 usage error.",
+                    "observability pairing (OBS*). Exit codes: 0 no "
+                    "error-severity findings (warnings are reported but "
+                    "non-fatal), 1 errors, 2 usage error.",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: the repro package)")

@@ -9,7 +9,7 @@ syntax, and run it via ``repro lint``.
 
 from repro.lint.engine import LintResult, discover_files, lint
 from repro.lint.findings import Finding, Severity
-from repro.lint.guard import check_code_version_bump
+from repro.lint.guard import check_code_version_bump, resolve_repo_root
 from repro.lint.registry import Rule, all_rules, register
 from repro.lint.reporters import render_json, render_rule_list, render_text
 
@@ -26,4 +26,5 @@ __all__ = [
     "render_json",
     "render_rule_list",
     "render_text",
+    "resolve_repo_root",
 ]

@@ -49,6 +49,20 @@ def _version_in(text: str) -> str | None:
     return match.group(1) if match else None
 
 
+def resolve_repo_root(start: Path | None = None) -> Path:
+    """Toplevel of the git repository containing ``start`` (default cwd).
+
+    Falls back to ``start`` itself outside a work tree, so callers can
+    pass the result straight to :func:`check_code_version_bump` — which
+    then reports the unreadable cache module instead of passing silently.
+    """
+    base = start if start is not None else Path.cwd()
+    out = _git(base, "rev-parse", "--show-toplevel")
+    if out is not None and out.strip():
+        return Path(out.strip())
+    return base
+
+
 def check_code_version_bump(repo: Path, base: str) -> list[Finding]:
     """CACHE002 findings for ``repo`` diffed against git ref ``base``.
 
@@ -83,16 +97,27 @@ def check_code_version_bump(repo: Path, base: str) -> list[Finding]:
 
     cache_path = repo / _CACHE_MODULE
     try:
-        new_version = _version_in(cache_path.read_text(encoding="utf-8"))
+        cache_text = cache_path.read_text(encoding="utf-8")
     except OSError:
-        new_version = None
+        cache_text = None
+    new_version = _version_in(cache_text) if cache_text is not None else None
+
+    if new_version is None:
+        # An unreadable or versionless cache module must be loud, not a
+        # pass: returning [] here would silently disable the guard when
+        # the repo path is wrong (e.g. run from a subdirectory).
+        return [Finding(
+            path=_CACHE_MODULE, line=1, col=0,
+            rule_id="CACHE002", severity=Severity.ERROR,
+            message=f"cannot read CODE_VERSION from {cache_path}; the "
+                    "guard could not verify the bump (is the repo root "
+                    "right and the constant still defined?)",
+        )]
 
     if old_version is not None and old_version == new_version:
         sample = ", ".join(changed[:3]) + ("..." if len(changed) > 3 else "")
-        line = 1
-        match = _VERSION_RE.search(cache_path.read_text(encoding="utf-8"))
-        if match is not None:
-            line = cache_path.read_text(encoding="utf-8")[:match.start()].count("\n") + 1
+        match = _VERSION_RE.search(cache_text)
+        line = cache_text[:match.start()].count("\n") + 1 if match else 1
         return [Finding(
             path=_CACHE_MODULE, line=line, col=0,
             rule_id="CACHE002", severity=Severity.ERROR,

@@ -59,6 +59,18 @@ _WALL_CLOCK = {
 #: order-restoring), so feeding them a set is deterministic.
 _ORDER_SAFE_CALLS = {"sorted", "len", "min", "max", "any", "all", "frozenset", "set"}
 
+#: RNG constructors that are deterministic when handed an explicit seed
+#: (and hidden entropy when not): ``default_rng`` plus the BitGenerator
+#: classes, mirroring the ``random.Random(seed)`` carve-out in DET002.
+_NUMPY_SEEDED_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+}
+
 
 def _calls(ctx: FileContext) -> Iterator[tuple[ast.Call, str]]:
     for node in ast.walk(ctx.tree):
@@ -73,13 +85,12 @@ def check_unseeded_rng(
 ) -> Iterator[tuple[int, int, str]]:
     """DET001: numpy RNG construction/use without an explicit seed."""
     for call, name in _calls(ctx):
-        if name == "numpy.random.default_rng":
+        if name in _NUMPY_SEEDED_CONSTRUCTORS:
             if not call.args and not call.keywords:
                 yield (call.lineno, call.col_offset,
-                       "np.random.default_rng() without a seed; pass a seed or "
+                       f"{name}() without a seed; pass a seed or "
                        "SeedSequence derived from the spec")
         elif name.startswith("numpy.random.") and name not in (
-            "numpy.random.default_rng",
             "numpy.random.SeedSequence",
             "numpy.random.Generator",
         ):

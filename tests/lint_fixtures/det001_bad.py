@@ -10,3 +10,7 @@ def unseeded():
 
 def global_state():
     return np.random.random()  # DET001: hidden global RNG
+
+
+def unseeded_bit_generator():
+    return np.random.Generator(np.random.PCG64())  # DET001: no seed

@@ -11,3 +11,12 @@ def seeded(seed: int):
 def spawned(seed: int, n: int):
     children = np.random.SeedSequence(seed).spawn(n)
     return [np.random.default_rng(child) for child in children]
+
+
+def explicit_bit_generators(seed: int):
+    # Seeded BitGenerator construction is deterministic, like
+    # random.Random(seed) under DET002.
+    return (
+        np.random.Generator(np.random.PCG64(seed)),
+        np.random.Generator(np.random.Philox(key=seed)),
+    )

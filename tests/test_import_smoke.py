@@ -1,0 +1,73 @@
+"""Smoke tests for benchmarks/ and examples/.
+
+Neither directory is on pytest's ``testpaths``, so an API rename in
+``src/repro`` can leave them silently broken (the
+``CelloConfig.burst_period`` -> ``burst_period_s`` rename did exactly
+that to three call sites). Two cheap checks close the gap without
+running a single simulation:
+
+* every module imports cleanly, which catches stale imports and moved
+  symbols;
+* every keyword argument at a call of a module-level callable is
+  accepted by that callable's signature, which catches renamed config
+  fields hiding inside function bodies that import alone never
+  executes.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import inspect
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+
+MODULES = sorted(
+    path
+    for directory in (REPO / "benchmarks", REPO / "examples")
+    for path in directory.glob("*.py")
+)
+
+
+def _load(path: Path):
+    # Benchmark modules import their siblings (``common``, ``conftest``)
+    # by bare name, mirroring how pytest runs them from that directory.
+    sys.path.insert(0, str(path.parent))
+    try:
+        spec = importlib.util.spec_from_file_location(
+            f"_smoke_{path.parent.name}_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.path.remove(str(path.parent))
+
+
+@pytest.mark.parametrize(
+    "path", MODULES, ids=lambda p: f"{p.parent.name}/{p.name}")
+def test_module_imports_and_keywords_resolve(path):
+    module = _load(path)
+
+    problems = []
+    for node in ast.walk(ast.parse(path.read_text(encoding="utf-8"))):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Name):
+            continue
+        target = getattr(module, node.func.id, None)
+        if target is None or not callable(target):
+            continue
+        try:
+            params = inspect.signature(target).parameters
+        except (TypeError, ValueError):
+            continue  # C callables expose no signature
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg not in params:
+                problems.append(
+                    f"{path.name}:{node.lineno}: {node.func.id}() has no "
+                    f"parameter {keyword.arg!r}")
+    assert not problems, "\n".join(problems)

@@ -18,6 +18,7 @@ from repro.lint import (
     lint,
     render_json,
     render_text,
+    resolve_repo_root,
 )
 from repro.lint.reporters import JSON_SCHEMA_VERSION
 
@@ -178,6 +179,21 @@ class TestCodeVersionGuard:
         assert [f.rule_id for f in findings] == ["CACHE002"]
         assert "could not run" in findings[0].message
 
+    def test_unreadable_cache_module_degrades_to_finding(self, guard_repo):
+        """A wrong repo path (or deleted cache module) must be loud, not
+        a silent pass of the guard."""
+        repo, cache, sim = guard_repo
+        sim.write_text("x = 2\n")
+        cache.unlink()
+        findings = check_code_version_bump(repo, "HEAD")
+        assert [f.rule_id for f in findings] == ["CACHE002"]
+        assert "cannot read CODE_VERSION" in findings[0].message
+
+    def test_resolve_repo_root_finds_toplevel_from_subdirectory(self, guard_repo):
+        repo, _, _ = guard_repo
+        root = resolve_repo_root(repo / "src/repro/sim")
+        assert root.resolve() == repo.resolve()
+
 
 class TestCli:
     def _run(self, *argv: str) -> tuple[int, str]:
@@ -196,11 +212,19 @@ class TestCli:
         code, _ = self._run(str(path))
         assert code == 0
 
-    def test_findings_exit_one(self, tmp_path):
+    def test_error_findings_exit_one(self, tmp_path):
         path = _write(tmp_path, "import time\nx = time.time()\n")
         code, out = self._run(str(path))
         assert code == 1
         assert "DET003" in out
+
+    def test_warning_only_findings_exit_zero(self, tmp_path):
+        """WARNING-severity findings are reported but non-fatal: only
+        error severity fails the exit-code contract."""
+        path = _write(tmp_path, "def wait(timeout=30):\n    return timeout\n")
+        code, out = self._run(str(path))
+        assert "UNIT002" in out
+        assert code == 0
 
     def test_unknown_rule_exits_two(self, tmp_path):
         path = _write(tmp_path, "x = 1\n")

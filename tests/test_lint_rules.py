@@ -48,7 +48,7 @@ def test_expected_bad_fixture_counts():
     """Pin the exact violation count per bad fixture so rule regressions
     (weaker *or* stronger matching) surface as a diff here."""
     expected = {
-        "DET001": 2, "DET002": 2, "DET003": 3, "DET004": 3,
+        "DET001": 3, "DET002": 2, "DET003": 3, "DET004": 3,
         "UNIT001": 3, "UNIT002": 3, "CACHE001": 1, "OBS001": 1, "OBS002": 2,
     }
     for rule_id, count in expected.items():
