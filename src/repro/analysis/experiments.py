@@ -23,6 +23,7 @@ from repro.analysis.report import format_count, format_duration
 from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
 from repro.disks.array import ArrayConfig
 from repro.disks.specs import ultrastar_36z15
+from repro.faults.plan import FaultPlan
 from repro.policies.always_on import AlwaysOnPolicy
 from repro.policies.base import PowerPolicy
 from repro.policies.drpm import DrpmConfig, DrpmPolicy
@@ -71,12 +72,14 @@ def run_single(
     goal_s: float | None = None,
     window_s: float | None = None,
     observe: bool = False,
+    faults: "FaultPlan | None" = None,
 ) -> SimulationResult:
     """One scheme on one trace (fresh simulation per call).
 
     ``observe=True`` collects the structured event trace
     (:mod:`repro.obs`) into ``result.events``; metrics are identical
-    either way.
+    either way. ``faults`` injects a declarative fault plan
+    (:mod:`repro.faults`); None or an empty plan changes nothing.
     """
     sim = ArraySimulation(
         trace=trace,
@@ -85,6 +88,7 @@ def run_single(
         goal_s=goal_s,
         window_s=window_s,
         observe=observe,
+        faults=faults,
     )
     return sim.run()
 
@@ -94,16 +98,19 @@ def derive_goal(
     array_config: ArrayConfig,
     slack: float = 1.5,
     observe: bool = False,
+    faults: "FaultPlan | None" = None,
 ) -> tuple[float, SimulationResult]:
     """Run Base and derive the response-time goal from its mean.
 
     Returns ``(goal_s, base_result)``; ``slack`` is the paper's
     "response-time limit multiplier" (how much degradation the operator
-    tolerates in exchange for energy savings).
+    tolerates in exchange for energy savings). When ``faults`` is set,
+    Base runs under the same fault plan as the schemes it anchors, so
+    the goal reflects degraded-mode service times.
     """
     if slack < 1.0:
         raise ValueError(f"slack below 1.0 is unmeetable by definition, got {slack!r}")
-    base = run_single(trace, array_config, AlwaysOnPolicy(), observe=observe)
+    base = run_single(trace, array_config, AlwaysOnPolicy(), observe=observe, faults=faults)
     if base.mean_response_s <= 0:
         raise ValueError("Base run produced no requests; cannot derive a goal")
     return slack * base.mean_response_s, base
@@ -228,6 +235,7 @@ def run_comparison(
     jobs: int = 1,
     cache: ResultCache | None = None,
     observe: bool = False,
+    faults: "FaultPlan | None" = None,
 ) -> ComparisonResult:
     """Full paper-style comparison on one trace.
 
@@ -241,16 +249,19 @@ def run_comparison(
             entirely and misses are stored for next time.
         observe: collect the structured event trace (:mod:`repro.obs`)
             for every run, Base included, into each result's ``events``.
+        faults: fault plan applied to *every* run, Base included, so
+            all schemes face the identical failure scenario.
     """
     if jobs == 1 and cache is None:
-        goal_s, base_result = derive_goal(trace, array_config, slack, observe=observe)
+        goal_s, base_result = derive_goal(trace, array_config, slack, observe=observe,
+                                          faults=faults)
         comparison = ComparisonResult(goal_s=goal_s, slack=slack)
         comparison.results["Base"] = base_result
         if schemes is None:
             schemes = standard_policies(trace, array_config, hibernator_config)
         for policy, config in schemes:
             result = run_single(trace, config, policy, goal_s=goal_s,
-                                window_s=window_s, observe=observe)
+                                window_s=window_s, observe=observe, faults=faults)
             comparison.results[result.policy_name] = result
         return comparison
 
@@ -261,7 +272,7 @@ def run_comparison(
     trace_spec = TraceSpec.from_trace(trace)
     base_result = execute_one(
         RunSpec(trace=trace_spec, array=array_config, policy=PolicySpec.named("base"),
-                observe=observe),
+                observe=observe, faults=faults),
         cache=cache,
     )
     if base_result.mean_response_s <= 0:
@@ -279,6 +290,7 @@ def run_comparison(
             goal_s=goal_s,
             window_s=window_s,
             observe=observe,
+            faults=faults,
         )
         for policy, config in schemes
     ]

@@ -36,6 +36,7 @@ from typing import Any, Callable, Sequence
 from repro.analysis.cache import ResultCache
 from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
 from repro.disks.array import ArrayConfig
+from repro.faults.plan import FaultPlan
 from repro.policies.always_on import AlwaysOnPolicy
 from repro.policies.base import PowerPolicy
 from repro.policies.drpm import DrpmConfig, DrpmPolicy
@@ -219,6 +220,10 @@ class RunSpec:
     cache carry them like any other metric. It is part of the cache key:
     an observed and an unobserved run of the same experiment are distinct
     entries (their metrics are identical, their payloads are not).
+
+    ``faults`` carries the declarative fault plan (frozen dataclasses,
+    picklable, canonicalized into the cache key field by field). None
+    and an empty plan both mean a fault-free run.
     """
 
     trace: TraceSpec
@@ -228,6 +233,7 @@ class RunSpec:
     window_s: float | None = None
     keep_latency_samples: bool = True
     observe: bool = False
+    faults: FaultPlan | None = None
 
 
 def run_spec(spec: RunSpec) -> "SimulationResult":
@@ -244,6 +250,7 @@ def run_spec(spec: RunSpec) -> "SimulationResult":
         window_s=spec.window_s,
         keep_latency_samples=spec.keep_latency_samples,
         observe=spec.observe,
+        faults=spec.faults,
     )
     return sim.run()
 

@@ -98,6 +98,20 @@ def _make_cache(args: argparse.Namespace):
     return ResultCache(args.cache_dir)
 
 
+def _add_faults_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults",
+                        help="JSON fault plan (see docs/faults.md): disk "
+                             "failures, transient error windows, slow disks")
+
+
+def _load_faults(args: argparse.Namespace):
+    if not getattr(args, "faults", None):
+        return None
+    from repro.faults.plan import load_fault_plan
+
+    return load_fault_plan(args.faults)
+
+
 def _add_array_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--disks", type=int, default=8, help="array width")
     parser.add_argument("--speed-levels", type=int, default=5,
@@ -214,14 +228,15 @@ def cmd_trace_stats(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     trace = _resolve_trace(args)
     config = _array_config(args, trace.num_extents)
+    faults = _load_faults(args)
     base = None
     goal = None
     if args.policy != "base" and args.slack is not None:
-        base = run_single(trace, config, AlwaysOnPolicy())
+        base = run_single(trace, config, AlwaysOnPolicy(), faults=faults)
         goal = args.slack * base.mean_response_s
     policy, policy_config = _build_policy(args.policy, args, trace, config)
     result = run_single(trace, policy_config, policy, goal_s=goal,
-                        observe=bool(args.trace_out))
+                        observe=bool(args.trace_out), faults=faults)
     if args.trace_out:
         _write_trace_out(result.events, args.trace_out)
     if args.json:
@@ -243,6 +258,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         hibernator_config=HibernatorConfig(epoch_seconds=args.epoch,
                                            migration=args.migration),
         jobs=args.jobs, cache=cache, observe=bool(args.trace_out),
+        faults=_load_faults(args),
     )
     if args.trace_out:
         _write_trace_out(comparison.all_events(), args.trace_out)
@@ -424,6 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-prime", dest="prime", action="store_false",
                    help="skip heat priming (start with an observation epoch)")
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    _add_faults_option(p)
     _add_trace_out(p)
     p.set_defaults(func=cmd_run, prime=True)
 
@@ -436,6 +453,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="shuffle")
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.add_argument("--csv", help="write per-scheme CSV to this path")
+    _add_faults_option(p)
     _add_parallel_options(p)
     _add_trace_out(p)
     p.set_defaults(func=cmd_compare)

@@ -46,17 +46,27 @@ class GuaranteeConfig:
             exact mistake that triggered the boost). Default 0: exit as
             soon as the cumulative average is back at the goal.
         enabled: set False for the A1 ablation (no guarantee).
+        degraded_enter_factor: multiplier applied to the entry threshold
+            while the array is degraded (a disk failed / rebuilding).
+            Degraded-mode latency spikes are structural — reconstruction
+            fan-out, rebuild contention — not a prediction error a boost
+            can fix cheaply, but the guarantee still holds; a factor
+            below 1 makes the boost *more* eager during the exposure
+            window, which is the safe direction.
     """
 
     enter_threshold_requests: float = 50.0
     exit_credit_requests: float = 0.0
     enabled: bool = True
+    degraded_enter_factor: float = 0.5
 
     def __post_init__(self) -> None:
         if self.enter_threshold_requests < 0:
             raise ValueError("enter_threshold_requests must be non-negative")
         if self.exit_credit_requests < 0:
             raise ValueError("exit_credit_requests must be non-negative")
+        if self.degraded_enter_factor <= 0:
+            raise ValueError("degraded_enter_factor must be positive")
 
 
 class BoostController:
@@ -69,6 +79,7 @@ class BoostController:
         self.boosts_entered = 0
         self.boost_seconds = 0.0
         self._boost_started: float | None = None
+        self._degraded = False
         # Structured-trace hook (repro.obs); None = tracing disabled.
         self.emit: Callable[[TraceEvent], None] | None = None
 
@@ -84,11 +95,18 @@ class BoostController:
         """Fold one completed foreground request into the deficit."""
         self.tracker.add(latency_s)
 
+    def set_degraded(self, degraded: bool) -> None:
+        """Tell the controller the array is (no longer) degraded; the
+        entry threshold scales by ``degraded_enter_factor`` while set."""
+        self._degraded = degraded
+
     def should_enter_boost(self) -> bool:
         """True when the deficit has built past the entry threshold."""
         if not self.config.enabled or self.boosted:
             return False
         threshold = self.goal_s * self.config.enter_threshold_requests
+        if self._degraded:
+            threshold *= self.config.degraded_enter_factor
         return self.tracker.deficit > threshold
 
     def should_exit_boost(self) -> bool:

@@ -158,6 +158,8 @@ class HibernatorPolicy(PowerPolicy):
         self._current_epoch_s = self.config.epoch_seconds
         self._reads_seen = 0
         self._writes_seen = 0
+        self._rebuilding = False
+        self._assignment_width = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -199,6 +201,8 @@ class HibernatorPolicy(PowerPolicy):
         self._current_epoch_s = cfg.epoch_seconds
         self._reads_seen = 0
         self._writes_seen = 0
+        self._rebuilding = False
+        self._assignment_width = array.num_disks
         if cfg.prime_rates is not None:
             # Steady-state start: the array was already running Hibernator
             # before this window, so the primed configuration (speeds and
@@ -235,6 +239,32 @@ class HibernatorPolicy(PowerPolicy):
         # Exit is evaluated only at epoch boundaries: leaving mid-epoch
         # would reinstate speeds chosen for the stale heat that caused
         # the violation in the first place.
+
+    def on_disk_failed(self, disk: int, rebuild_active: bool = False) -> None:
+        """React to a failure mid-epoch: the epoch's configuration was
+        chosen for an array that no longer exists.
+
+        Migration is cancelled (its plan names a dead disk's layout), the
+        boost gets more eager while the data is exposed, and the speed
+        assignment is re-solved over the surviving set immediately — the
+        RT guarantee is re-evaluated now, not at the next boundary.
+        """
+        sim = self.sim
+        assert sim is not None and self.executor is not None
+        self._rebuilding = rebuild_active
+        if self.boost is not None:
+            self.boost.set_degraded(True)
+        self.executor.cancel()
+        self.metrics.counter("disk_failures").inc()
+        self._reconfigure(instant=False, record=False)
+
+    def on_rebuild_complete(self) -> None:
+        """Exposure window over: relax the guarantee and re-solve so the
+        survivors can leave the full-speed pin."""
+        self._rebuilding = False
+        if self.boost is not None:
+            self.boost.set_degraded(False)
+        self._reconfigure(instant=False, record=False)
 
     def on_finish(self, now: float) -> None:
         if self.boost is not None:
@@ -279,22 +309,45 @@ class HibernatorPolicy(PowerPolicy):
         else:
             self._current_epoch_s = base
 
-    def _reconfigure(self, instant: bool) -> None:
+    def _reconfigure(self, instant: bool, record: bool = True) -> None:
+        """Re-solve the speed assignment and (re)plan migration.
+
+        ``record=False`` is the mid-epoch path (failure / rebuild
+        completion): the configuration changes but no epoch starts, so
+        the epoch counter, records and boundary event are skipped.
+
+        With failed disks, the solve runs over the *surviving* set:
+        position ``p`` of the assignment maps to the p-th surviving disk
+        (ascending index). The tier layout (and therefore migration
+        planning) is suspended — extent placement is the rebuilder's
+        business until the exposure is gone — and while a rebuild is in
+        flight the survivors are pinned at full speed.
+        """
         sim = self.sim
         assert sim is not None and self.heat is not None and self.executor is not None
         array = sim.array
         spec = array.config.spec
+        survivors = [
+            d for d in range(array.num_disks) if d not in array.failed_disks
+        ]
+        if not survivors:
+            return  # the whole array is gone; nothing to control
+        degraded = len(survivors) < array.num_disks
         mean_size = self._size_stats.mean if self._size_stats.n else 4096.0
         self._model = MG1ResponseModel(
             mechanics=array.disks[0].mechanics,
             mean_request_bytes=mean_size,
         )
-        prev = self.assignment.boundaries if self.assignment is not None else None
+        # Stale boundaries from a different array width would misalign
+        # the solver's warm start; only reuse them at the same width.
+        prev = None
+        if self.assignment is not None and self._assignment_width == len(survivors):
+            prev = self.assignment.boundaries
         planning_goal = self._planning_goal()
         if self.config.speed_setter == "utilization":
             assignment = solve_utilization_assignment(
                 heat=self.heat.heat,
-                num_disks=array.num_disks,
+                num_disks=len(survivors),
                 model=self._model,
                 spec=spec,
                 epoch_seconds=self._current_epoch_s,
@@ -303,7 +356,7 @@ class HibernatorPolicy(PowerPolicy):
         else:
             assignment = solve_speed_assignment(
                 heat=self.heat.heat,
-                num_disks=array.num_disks,
+                num_disks=len(survivors),
                 model=self._model,
                 spec=spec,
                 epoch_seconds=self._current_epoch_s,
@@ -312,14 +365,20 @@ class HibernatorPolicy(PowerPolicy):
                 config=self.config.speed_setting,
             )
         self.assignment = assignment
-        self.layout = identity_layout(assignment)
+        self._assignment_width = len(survivors)
         boosted = self.boost is not None and self.boost.boosted
-        if instant:
-            for disk in array.disks:
-                disk.force_speed(self.layout.rpm_of_disk(disk.index))
-        elif not boosted:
-            self._apply_speeds()
-        plan = self._plan_migration()
+        if not degraded:
+            self.layout = identity_layout(assignment)
+            if instant:
+                for disk in array.disks:
+                    disk.force_speed(self.layout.rpm_of_disk(disk.index))
+            elif not boosted:
+                self._apply_speeds()
+        else:
+            self.layout = None
+            if not boosted:
+                self._apply_survivor_speeds(survivors, assignment)
+        plan = self._plan_migration() if self.layout is not None else None
         if self.executor.active:
             self.executor.cancel()
         planned = plan.num_moves if plan is not None else 0
@@ -331,6 +390,8 @@ class HibernatorPolicy(PowerPolicy):
                         array.extent_map.move(extent, target)
             elif not boosted:
                 self.executor.start(plan)
+        if not record:
+            return
         self.epochs.append(
             EpochRecord(
                 time=sim.engine.now,
@@ -361,6 +422,25 @@ class HibernatorPolicy(PowerPolicy):
                 boosted=boosted,
                 epoch_seconds=self._current_epoch_s,
             ))
+
+    def _apply_survivor_speeds(self, survivors: list[int], assignment: SpeedAssignment) -> None:
+        """Apply a survivor-width assignment to the surviving disks.
+
+        While a rebuild is in flight every survivor is pinned at full
+        speed instead — reconstruction fan-out plus rebuild traffic is
+        the worst load the array sees, and a slow tier would stretch the
+        exposure window.
+        """
+        sim = self.sim
+        assert sim is not None
+        if self._rebuilding:
+            max_rpm = sim.array.config.spec.max_rpm
+            self._staggered_speed_change({disk: max_rpm for disk in survivors})
+            return
+        self._staggered_speed_change({
+            disk: assignment.rpm_for_position(position)
+            for position, disk in enumerate(survivors)
+        })
 
     def _planning_goal(self) -> float | None:
         """The goal the CR optimizer should plan disk responses against.

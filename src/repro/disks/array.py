@@ -19,7 +19,7 @@ from repro.disks.mapping import ExtentMap
 from repro.disks.power import PowerBreakdown
 from repro.disks.raid import expand_request, expand_request_degraded
 from repro.disks.specs import DiskSpec, ultrastar_36z15
-from repro.obs.events import MigrationMove, TraceEvent
+from repro.obs.events import MigrationCancelled, MigrationMove, TraceEvent
 from repro.sim.engine import Engine
 from repro.sim.request import DiskOp, IoKind, Request, RequestClass
 
@@ -140,6 +140,11 @@ class DiskArray:
         self.redirect: Callable[[Request], tuple[int, int] | None] | None = None
         # Structured-trace hook (repro.obs); None = tracing disabled.
         self.emit: Callable[[TraceEvent], None] | None = None
+        # Fired whenever a migration releases slot capacity (a reserved
+        # slot is returned or a completed move frees the source slot);
+        # the rebuilder uses it to re-queue unplaced extents the moment
+        # a target becomes available, without polling timers.
+        self.on_capacity_freed: Callable[[], None] | None = None
 
     def install_trace_hook(self, emit: Callable[[TraceEvent], None]) -> None:
         """Install the observability ``emit`` hook on the array and disks."""
@@ -155,6 +160,11 @@ class DiskArray:
         if not 0 <= request.extent < self.config.num_extents:
             raise ValueError(f"extent {request.extent} out of range")
         placement = self.redirect(request) if self.redirect is not None else None
+        if placement is not None and placement[0] in self.failed_disks:
+            # The policy's redirect target (e.g. a MAID cache disk) has
+            # died; fall through to the home placement, which the
+            # degraded path below knows how to serve.
+            placement = None
         if placement is not None:
             data_disk, data_block = placement
         else:
@@ -207,11 +217,18 @@ class DiskArray:
 
         request.ops_outstanding = len(physicals)
 
-        def _op_done(_op: DiskOp, request: Request = request) -> None:
+        def _op_done(op: DiskOp, request: Request = request) -> None:
+            if op.failed:
+                # A physical leg exhausted its retry budget (or its disk
+                # died mid-retry): the logical request fails, but only
+                # once every leg has unwound.
+                request.failed = True
             request.ops_outstanding -= 1
             if request.ops_outstanding == 0:
                 request.completion = self.engine.now
-                if request.klass is RequestClass.FOREGROUND:
+                if request.failed:
+                    self.failed_requests += 1
+                elif request.klass is RequestClass.FOREGROUND:
                     self.foreground_completed += 1
                 if on_complete is not None:
                     on_complete(request)
@@ -242,6 +259,10 @@ class DiskArray:
         Used for policy-internal traffic (cache fills, destages,
         migration legs). The op competes for disk time and energy like
         any other but is never counted in response-time statistics.
+
+        Targeting a failed disk is not an error: the op is delivered
+        back as failed (``op.failed``) without touching the disk, so
+        failure-unaware policies keep running degraded.
         """
         marker = Request(
             req_id=self._next_internal_req_id,
@@ -261,6 +282,12 @@ class DiskArray:
             size=size,
             on_complete=on_complete,
         )
+        if disk in self.failed_disks:
+            op.failed = True
+            op.finished = self.engine.now
+            if on_complete is not None:
+                on_complete(op)
+            return
         self.disks[disk].submit(op)
 
     # -- migration -------------------------------------------------------------
@@ -291,7 +318,22 @@ class DiskArray:
         self._reserved_slots[to_disk] += 1
         size = self.config.extent_bytes
 
-        def _write_done(_op: DiskOp) -> None:
+        def _abort(_reason_op: DiskOp) -> None:
+            # Release the promised slot without moving the extent; the
+            # caller observes the unchanged map via on_complete.
+            self._reserved_slots[to_disk] -= 1
+            if self.emit is not None:
+                self.emit(MigrationCancelled(time=self.engine.now, unplaced=1))
+            if on_complete is not None:
+                on_complete(extent)
+            self._notify_capacity_freed()
+
+        def _write_done(op: DiskOp) -> None:
+            if op.failed or to_disk in self.failed_disks:
+                # The write never landed (retry exhaustion) or the target
+                # died after draining it; the extent stays where it was.
+                _abort(op)
+                return
             self._reserved_slots[to_disk] -= 1
             self.extent_map.move(extent, to_disk)
             self.migration_extents_moved += 1
@@ -305,8 +347,13 @@ class DiskArray:
                 ))
             if on_complete is not None:
                 on_complete(extent)
+            # The move vacated a slot on the source disk.
+            self._notify_capacity_freed()
 
-        def _read_done(_op: DiskOp) -> None:
+        def _read_done(op: DiskOp) -> None:
+            if op.failed or to_disk in self.failed_disks:
+                _abort(op)
+                return
             # The write lands at whatever free slot the map will assign;
             # using the source slot as the physical position is a uniform
             # stand-in (placement is uniform either way).
@@ -317,6 +364,10 @@ class DiskArray:
             from_disk, self.extent_map.slot_of(extent), IoKind.READ, size, _read_done
         )
         return True
+
+    def _notify_capacity_freed(self) -> None:
+        if self.on_capacity_freed is not None:
+            self.on_capacity_freed()
 
     # -- fault injection ------------------------------------------------------
 

@@ -23,15 +23,18 @@ assumes.
 from __future__ import annotations
 
 import enum
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import DiskFaultState
 
 from repro.disks.mechanics import DiskMechanics
 from repro.disks.power import EnergyMeter
 from repro.disks.scheduling import QueueDiscipline, make_discipline
 from repro.disks.specs import DiskSpec
-from repro.obs.events import SpeedTransition, TraceEvent
+from repro.obs.events import OpRetried, SpeedTransition, TraceEvent
 from repro.sim.engine import Engine
 from repro.sim.request import DiskOp
 
@@ -99,11 +102,17 @@ class MultiSpeedDisk:
         self.on_activity: Callable[["MultiSpeedDisk"], None] | None = None
         # Structured-trace hook (repro.obs); None = tracing disabled.
         self.emit: Callable[[TraceEvent], None] | None = None
+        # Fault-injection hook (repro.faults.DiskFaultState); None means
+        # no faults target this disk and every fault branch is skipped,
+        # keeping the no-fault path byte-identical.
+        self.fault_state: "DiskFaultState | None" = None
         # Counters.
         self.ops_completed = 0
         self.bytes_transferred = 0
         self.spinups = 0
         self.speed_changes = 0
+        self.op_errors = 0
+        self.op_retries = 0
         self.last_activity_time = engine.now
         self.failed = False
 
@@ -293,16 +302,21 @@ class MultiSpeedDisk:
             rpm=self.rpm,
             rng=self.rng,
         )
+        if self.fault_state is not None:
+            service *= self.fault_state.slow_factor(now)
         op.started = now
         self.engine.schedule_after(service, self._complete, op)
 
     def _complete(self, op: DiskOp) -> None:
         now = self.engine.now
+        if self.fault_state is not None and self._attempt_failed(op):
+            return  # retry scheduled; completion withheld for now
         op.finished = now
         self._in_flight = None
         self.head_block = op.block
-        self.ops_completed += 1
-        self.bytes_transferred += op.size
+        if not op.failed:
+            self.ops_completed += 1
+            self.bytes_transferred += op.size
         self.last_activity_time = now
         self.state = DiskState.IDLE
         self.meter.update(now, self.spec.idle_watts(self.rpm), "idle")
@@ -328,6 +342,72 @@ class MultiSpeedDisk:
     def _notify_idle(self) -> None:
         if self.on_idle is not None:
             self.on_idle(self)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def _attempt_failed(self, op: DiskOp) -> bool:
+        """Apply an injected transient error to a finishing service attempt.
+
+        Returns True when the op's completion is withheld because a retry
+        was scheduled; returns False when the attempt succeeded or the op
+        gave up (``op.failed`` set), in which case :meth:`_complete`
+        proceeds to deliver the completion.
+        """
+        fault_state = self.fault_state
+        assert fault_state is not None
+        now = self.engine.now
+        if not fault_state.should_error(now):
+            return False
+        self.op_errors += 1
+        op.attempts += 1
+        if op.attempts >= fault_state.retry.max_attempts or self.failed:
+            # Budget exhausted (or the disk is already draining toward
+            # FAILED): surface the failure to the caller.
+            op.failed = True
+            return False
+        self.op_retries += 1
+        backoff = fault_state.retry.backoff_for(op.attempts)
+        if self.emit is not None:
+            self.emit(OpRetried(
+                time=now, disk=self.index, attempt=op.attempts,
+                op_kind=op.kind.value, backoff_s=backoff,
+            ))
+        # The op leaves service and re-queues after the backoff; the disk
+        # is free to serve the rest of its queue meanwhile.
+        self._in_flight = None
+        self.head_block = op.block
+        self.last_activity_time = now
+        self.state = DiskState.IDLE
+        self.meter.update(now, self.spec.idle_watts(self.rpm), "idle")
+        self.engine.schedule_after(backoff, self._resubmit, op)
+        if self._requested_rpm != self.rpm:
+            self._begin_transition(self._requested_rpm)
+        elif self.queue:
+            self._start_service()
+        else:
+            self._notify_idle()
+        return True
+
+    def _resubmit(self, op: DiskOp) -> None:
+        """Re-queue an op after its retry backoff elapsed."""
+        now = self.engine.now
+        if self.failed:
+            # The disk died while the op waited out its backoff; deliver
+            # the completion as a failure so the caller can unwind.
+            op.failed = True
+            op.finished = now
+            if op.on_complete is not None:
+                op.on_complete(op)
+            return
+        self.queue.push(op)
+        self.last_activity_time = now
+        if self.on_activity is not None:
+            self.on_activity(self)
+        if self.state is DiskState.IDLE:
+            self._start_service()
+        elif self.state is DiskState.STANDBY:
+            self._begin_transition(self._requested_rpm or self.spec.max_rpm)
+        # ACTIVE / TRANSITION: op waits in queue.
 
     # -- accounting -------------------------------------------------------------
 

@@ -14,6 +14,15 @@ Rebuild I/O is real background traffic: it competes with foreground
 requests for disk time and energy, which is exactly the degraded-window
 trade-off (rebuild fast and hurt latency, or rebuild slow and stay
 exposed) that the concurrency bound expresses.
+
+The manager is multi-failure aware: a second failure mid-rebuild is
+folded in via :meth:`add_failure`, extents whose reconstruction was
+invalidated by that failure (a survivor died, or the write target died)
+abort and re-queue against the new survivor set, and extents that found
+no healthy disk with a free slot wait in an *unplaced* backlog that
+drains the moment the array signals freed capacity
+(:attr:`DiskArray.on_capacity_freed`) — no polling timers, so an idle
+engine still drains.
 """
 
 from __future__ import annotations
@@ -22,11 +31,12 @@ from collections import deque
 from typing import Callable
 
 from repro.disks.array import DiskArray
+from repro.obs.events import RebuildProgress
 from repro.sim.request import DiskOp, IoKind
 
 
 class RebuildManager:
-    """Rebuilds one failed disk's extents with bounded concurrency."""
+    """Rebuilds failed disks' extents with bounded concurrency."""
 
     def __init__(self, array: DiskArray, max_inflight: int = 2) -> None:
         if max_inflight < 1:
@@ -34,16 +44,49 @@ class RebuildManager:
         self.array = array
         self.max_inflight = max_inflight
         self.rebuilt = 0
-        self.unplaced = 0
+        #: Extents ever scheduled (across start + add_failure rounds).
+        self.total_scheduled = 0
         self.started_at: float | None = None
         self.finished_at: float | None = None
         self._pending: deque[int] = deque()
+        #: Extents that found no healthy disk with a free slot; they
+        #: re-enter ``_pending`` on the array's capacity-freed signal.
+        self._unplaced: list[int] = []
         self._inflight = 0
         self._on_done: Callable[["RebuildManager"], None] | None = None
+        self._started = False
+        # Chain onto the array's capacity signal so unplaced extents
+        # retry the moment a migration returns or frees a slot.
+        previous = array.on_capacity_freed
+
+        def _chained() -> None:
+            if previous is not None:
+                previous()
+            self._capacity_freed()
+
+        array.on_capacity_freed = _chained
 
     @property
     def active(self) -> bool:
+        """Reconstruction work is queued or in flight (an unplaced
+        backlog alone is *stalled*, not active — it needs capacity)."""
         return self._inflight > 0 or bool(self._pending)
+
+    @property
+    def unplaced(self) -> int:
+        """Extents stalled waiting for a healthy disk with a free slot."""
+        return len(self._unplaced)
+
+    @property
+    def complete(self) -> bool:
+        """True once every scheduled extent is re-protected. False while
+        anything is pending, in flight or unplaced."""
+        return (
+            self._started
+            and self._inflight == 0
+            and not self._pending
+            and not self._unplaced
+        )
 
     def start(
         self,
@@ -53,21 +96,46 @@ class RebuildManager:
         """Begin rebuilding every extent resident on ``failed_disk``.
 
         Returns the number of extents scheduled. ``on_done`` fires when
-        the queue drains (including the zero-extent case).
+        every scheduled extent has been re-protected (including the
+        zero-extent case) — *not* while extents remain unplaced. It is
+        kept installed, so it fires again if :meth:`add_failure` reopens
+        the rebuild and that round completes too.
         """
-        if self.active:
+        if self.active or self._unplaced:
             raise RuntimeError("rebuild already in progress")
         if failed_disk not in self.array.failed_disks:
             raise ValueError(f"disk {failed_disk} has not failed; nothing to rebuild")
         self._pending = deque(sorted(self.array.extent_map.extents_on(failed_disk)))
         self._on_done = on_done
         self.rebuilt = 0
-        self.unplaced = 0
+        self._unplaced = []
         self.started_at = self.array.engine.now
         self.finished_at = None
+        self._started = True
         scheduled = len(self._pending)
+        self.total_scheduled = scheduled
         self._pump()
         return scheduled
+
+    def add_failure(self, failed_disk: int) -> int:
+        """Fold a further failure into a rebuild already started.
+
+        Enqueues the newly failed disk's extents behind whatever is
+        still queued (extents in flight against it abort and re-queue on
+        their own when their ops unwind). Returns the number of extents
+        scheduled.
+        """
+        if not self._started:
+            raise RuntimeError("call start() for the first failure")
+        if failed_disk not in self.array.failed_disks:
+            raise ValueError(f"disk {failed_disk} has not failed; nothing to rebuild")
+        extents = sorted(self.array.extent_map.extents_on(failed_disk))
+        self._pending.extend(extents)
+        self.total_scheduled += len(extents)
+        self.finished_at = None
+        self._emit_progress()
+        self._pump()
+        return len(extents)
 
     def _healthy_target(self) -> int | None:
         emap = self.array.extent_map
@@ -83,47 +151,97 @@ class RebuildManager:
                 best, best_occupancy = disk, occupancy
         return best
 
+    def _capacity_freed(self) -> None:
+        """Array signal: slot capacity changed; retry the backlog."""
+        if not self._unplaced:
+            return
+        self._pending.extend(self._unplaced)
+        self._unplaced.clear()
+        self._pump()
+
     def _pump(self) -> None:
         while self._inflight < self.max_inflight and self._pending:
             extent = self._pending.popleft()
             if not self._rebuild_one(extent):
-                self.unplaced += 1
-        if self._inflight == 0 and not self._pending:
+                self._unplaced.append(extent)
+                self._emit_progress()
+        if (
+            self._started
+            and self._inflight == 0
+            and not self._pending
+            and not self._unplaced
+            and self.finished_at is None
+        ):
             self.finished_at = self.array.engine.now
             if self._on_done is not None:
-                callback, self._on_done = self._on_done, None
-                callback(self)
+                self._on_done(self)
+
+    def _abort_extent(self, extent: int, target: int) -> None:
+        """Unwind one in-flight extent whose reconstruction became
+        invalid (a survivor or the target died, or an op failed) and
+        re-queue it against the current survivor set."""
+        self.array._reserved_slots[target] -= 1
+        self._inflight -= 1
+        self._pending.append(extent)
+        self.finished_at = None
+        self._emit_progress()
+        self._pump()
 
     def _rebuild_one(self, extent: int) -> bool:
         array = self.array
         target = self._healthy_target()
         if target is None:
             return False
-        array._reserved_slots[target] += 1
-        self._inflight += 1
         survivors = [
             d for d in range(array.num_disks) if d not in array.failed_disks
         ]
+        if not survivors:
+            return False  # nothing left to reconstruct from
+        array._reserved_slots[target] += 1
+        self._inflight += 1
         slot = array.extent_map.slot_of(extent)
         block = min(slot, array.config.slots_per_disk - 1)
         size = array.config.extent_bytes
-        remaining = {"reads": len(survivors)}
+        state = {"reads": len(survivors), "aborted": False}
 
-        def _read_done(_op: DiskOp) -> None:
-            remaining["reads"] -= 1
-            if remaining["reads"] == 0:
-                array.submit_background_op(target, block, IoKind.WRITE, size, _write_done)
+        def _read_done(op: DiskOp) -> None:
+            # Re-check the survivor set on every completion: a disk that
+            # failed mid-extent invalidates the reconstruction, and the
+            # countdown must never complete against a dead disk.
+            if op.failed or op.disk_index in array.failed_disks:
+                state["aborted"] = True
+            state["reads"] -= 1
+            if state["reads"] > 0:
+                return
+            if state["aborted"] or target in array.failed_disks:
+                self._abort_extent(extent, target)
+                return
+            array.submit_background_op(target, block, IoKind.WRITE, size, _write_done)
 
-        def _write_done(_op: DiskOp) -> None:
+        def _write_done(op: DiskOp) -> None:
+            if op.failed or target in array.failed_disks:
+                self._abort_extent(extent, target)
+                return
             array._reserved_slots[target] -= 1
             array.extent_map.move(extent, target)
             self.rebuilt += 1
             self._inflight -= 1
+            self._emit_progress()
             self._pump()
 
         for disk in survivors:
             array.submit_background_op(disk, block, IoKind.READ, size, _read_done)
         return True
+
+    def _emit_progress(self) -> None:
+        if self.array.emit is not None:
+            self.array.emit(RebuildProgress(
+                time=self.array.engine.now,
+                rebuilt=self.rebuilt,
+                unplaced=len(self._unplaced),
+                pending=len(self._pending),
+                total=self.total_scheduled,
+            ))
 
     @property
     def duration_s(self) -> float | None:

@@ -21,8 +21,46 @@ from __future__ import annotations
 
 import abc
 from collections import deque
+from dataclasses import dataclass
 
 from repro.sim.request import DiskOp
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff budget for transiently failed disk ops.
+
+    A disk op hit by an injected transient error is re-serviced after an
+    exponential backoff until either an attempt succeeds or the budget
+    runs out, at which point the op (and its parent request) fails.
+
+    Attributes:
+        max_attempts: total service attempts per op, including the
+            first; ``1`` disables retries entirely.
+        backoff_s: delay before the first retry, in seconds.
+        backoff_multiplier: factor applied to the delay per further
+            retry (``backoff_s * multiplier ** (attempt - 1)``).
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.005
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_s * self.backoff_multiplier ** (attempt - 1)
 
 
 class QueueDiscipline(abc.ABC):

@@ -1,0 +1,35 @@
+"""Fault injection: declarative plans driven through the engine.
+
+Public surface:
+
+* :class:`FaultPlan` and its parts (:class:`DiskFailure`,
+  :class:`TransientFault`, :class:`SlowDiskFault`) — what to inject;
+* :func:`load_fault_plan` / :func:`save_fault_plan` — the JSON form
+  behind ``repro run --faults plan.json``;
+* :class:`FaultInjector` — schedules the plan against one simulation.
+"""
+
+from repro.faults.injector import DiskFaultState, FaultInjector
+from repro.faults.plan import (
+    DiskFailure,
+    FaultPlan,
+    SlowDiskFault,
+    TransientFault,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
+    load_fault_plan,
+    save_fault_plan,
+)
+
+__all__ = [
+    "DiskFailure",
+    "DiskFaultState",
+    "FaultInjector",
+    "FaultPlan",
+    "SlowDiskFault",
+    "TransientFault",
+    "fault_plan_from_dict",
+    "fault_plan_to_dict",
+    "load_fault_plan",
+    "save_fault_plan",
+]

@@ -1,0 +1,200 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` names every fault a run will inject — whole-disk
+failures at scheduled times, transient per-op error windows with a
+failure probability, and slow-disk windows that inflate service times —
+plus the retry budget foreground ops get against transient errors and
+whether failures trigger a rebuild.
+
+Plans are frozen dataclasses, so they are picklable (parallel workers
+receive them inside :class:`~repro.analysis.parallel.RunSpec`) and the
+result cache keys them by content automatically. The JSON mapping used
+by ``repro run --faults plan.json`` round-trips through
+:func:`fault_plan_to_dict` / :func:`fault_plan_from_dict`; see
+``docs/faults.md`` for the schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.disks.scheduling import RetryPolicy
+
+
+def _as_disk_tuple(disks: Any) -> tuple[int, ...] | None:
+    if disks is None:
+        return None
+    return tuple(int(d) for d in disks)
+
+
+@dataclass(frozen=True)
+class DiskFailure:
+    """Fail one disk outright at ``time_s`` (it never recovers)."""
+
+    time_s: float
+    disk: int
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"DiskFailure.time_s must be >= 0, got {self.time_s}")
+        if self.disk < 0:
+            raise ValueError(f"DiskFailure.disk must be >= 0, got {self.disk}")
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """A window during which service attempts fail with ``probability``.
+
+    Attributes:
+        start_s / end_s: half-open window ``[start_s, end_s)`` in
+            simulated seconds.
+        probability: chance that one service attempt errors and retries.
+        disks: disks the window applies to; None = every disk.
+    """
+
+    start_s: float
+    end_s: float
+    probability: float
+    disks: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.end_s < self.start_s:
+            raise ValueError(
+                f"bad transient window [{self.start_s}, {self.end_s})"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class SlowDiskFault:
+    """A window during which service times are multiplied by ``factor``.
+
+    Models a sick-but-alive disk (media retries, vibration): latency
+    inflates, energy accrues over the longer service, but ops succeed.
+    """
+
+    start_s: float
+    end_s: float
+    factor: float
+    disks: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.end_s < self.start_s:
+            raise ValueError(f"bad slow-disk window [{self.start_s}, {self.end_s})")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every fault one run will inject, plus how the array reacts.
+
+    Attributes:
+        disk_failures: whole-disk failures, any order (the injector
+            schedules each at its own time).
+        transient_faults: per-op error windows.
+        slow_disk_faults: latency-inflation windows.
+        retry: retry/backoff budget ops get against transient errors.
+        rebuild: start/extend a :class:`RebuildManager` on each failure.
+        rebuild_max_inflight: rebuild concurrency bound.
+        seed: base seed for the per-disk transient-error draws; spawned
+            per disk so jobs=2 runs stay byte-identical to jobs=1.
+    """
+
+    disk_failures: tuple[DiskFailure, ...] = ()
+    transient_faults: tuple[TransientFault, ...] = ()
+    slow_disk_faults: tuple[SlowDiskFault, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    rebuild: bool = True
+    rebuild_max_inflight: int = 2
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.rebuild_max_inflight < 1:
+            raise ValueError(
+                f"rebuild_max_inflight must be >= 1, got {self.rebuild_max_inflight}"
+            )
+        seen: set[int] = set()
+        for failure in self.disk_failures:
+            if failure.disk in seen:
+                raise ValueError(f"disk {failure.disk} fails more than once")
+            seen.add(failure.disk)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing; an empty plan installs no
+        hooks at all, keeping results byte-identical to a fault-free run."""
+        return not (self.disk_failures or self.transient_faults or self.slow_disk_faults)
+
+
+def fault_plan_to_dict(plan: FaultPlan) -> dict[str, Any]:
+    """Flatten a plan into the JSON mapping ``--faults`` reads."""
+    return dataclasses.asdict(plan)
+
+
+def fault_plan_from_dict(data: dict[str, Any]) -> FaultPlan:
+    """Build a plan from the ``--faults`` JSON mapping.
+
+    Unknown keys are rejected so a typo ('probabilty') fails loudly
+    instead of silently injecting nothing.
+    """
+    known = {f.name for f in dataclasses.fields(FaultPlan)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown FaultPlan keys {unknown}; known: {sorted(known)}")
+    failures = tuple(
+        DiskFailure(time_s=float(d["time_s"]), disk=int(d["disk"]))
+        for d in data.get("disk_failures", ())
+    )
+    transients = tuple(
+        TransientFault(
+            start_s=float(d["start_s"]),
+            end_s=float(d["end_s"]),
+            probability=float(d["probability"]),
+            disks=_as_disk_tuple(d.get("disks")),
+        )
+        for d in data.get("transient_faults", ())
+    )
+    slows = tuple(
+        SlowDiskFault(
+            start_s=float(d["start_s"]),
+            end_s=float(d["end_s"]),
+            factor=float(d["factor"]),
+            disks=_as_disk_tuple(d.get("disks")),
+        )
+        for d in data.get("slow_disk_faults", ())
+    )
+    retry_data = data.get("retry")
+    retry = RetryPolicy(**retry_data) if retry_data is not None else RetryPolicy()
+    return FaultPlan(
+        disk_failures=failures,
+        transient_faults=transients,
+        slow_disk_faults=slows,
+        retry=retry,
+        rebuild=bool(data.get("rebuild", True)),
+        rebuild_max_inflight=int(data.get("rebuild_max_inflight", 2)),
+        seed=int(data.get("seed", 1234)),
+    )
+
+
+def load_fault_plan(path: str | Path) -> FaultPlan:
+    """Read a plan from a JSON file (the ``--faults`` loader)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: fault plan must be a JSON object")
+    return fault_plan_from_dict(data)
+
+
+def save_fault_plan(plan: FaultPlan, path: str | Path) -> None:
+    """Write a plan as JSON (the inverse of :func:`load_fault_plan`)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(fault_plan_to_dict(plan), fh, indent=2, sort_keys=True)
+        fh.write("\n")

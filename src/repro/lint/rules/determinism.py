@@ -11,7 +11,8 @@ These rules keep the two classic leaks out of result-producing code:
   code, where Python's iteration order is an implementation detail.
 
 Scope: the result-producing packages ``repro.core``, ``repro.sim``,
-``repro.disks``, ``repro.policies`` and ``repro.traces``. The analysis
+``repro.disks``, ``repro.policies``, ``repro.traces`` and
+``repro.faults``. The analysis
 and CLI layers may read the clock (progress reporting); the simulator
 may not, except through an explicit suppression that documents why
 (see ``runtime_*`` wall-clock instrumentation in the runner).
@@ -32,6 +33,7 @@ _RESULT_SCOPES = (
     "repro.disks",
     "repro.policies",
     "repro.traces",
+    "repro.faults",
 )
 
 #: Stdlib ``random`` module-level functions draw from one hidden global

@@ -37,6 +37,7 @@ _OBS_SCOPES = (
     "repro.sim",
     "repro.disks",
     "repro.policies",
+    "repro.faults",
 )
 
 _EMITTING_CACHE_KEY = "obspairing.emitting_functions"

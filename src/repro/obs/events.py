@@ -206,6 +206,51 @@ class RequestFailed(TraceEvent):
     kind: ClassVar[str] = "request_failed"
 
 
+@_register
+@dataclass(frozen=True)
+class DiskFailed(TraceEvent):
+    """A whole-disk failure was injected (or observed by the policy)."""
+
+    disk: int
+    #: Extents resident on the disk at failure time — the data exposed
+    #: until the rebuild re-protects it.
+    extents_exposed: int
+
+    kind: ClassVar[str] = "disk_failed"
+
+
+@_register
+@dataclass(frozen=True)
+class OpRetried(TraceEvent):
+    """A physical disk op hit an injected transient error and will retry."""
+
+    disk: int
+    #: Attempt number that just failed (1 = first service attempt).
+    attempt: int
+    op_kind: str
+    #: Backoff before the op re-queues, in seconds.
+    backoff_s: float
+
+    kind: ClassVar[str] = "op_retried"
+
+
+@_register
+@dataclass(frozen=True)
+class RebuildProgress(TraceEvent):
+    """Rebuild advanced: one extent re-protected, re-queued or stalled."""
+
+    #: Extents re-protected so far (across all failures).
+    rebuilt: int
+    #: Extents waiting for a healthy disk with a free slot.
+    unplaced: int
+    #: Extents queued behind the concurrency bound.
+    pending: int
+    #: Total extents ever scheduled for rebuild.
+    total: int
+
+    kind: ClassVar[str] = "rebuild_progress"
+
+
 def event_to_dict(event: TraceEvent) -> dict[str, Any]:
     """Flatten an event into a JSON-safe dict (``event`` key = kind tag)."""
     out: dict[str, Any] = {"event": event.kind}

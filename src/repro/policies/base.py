@@ -55,6 +55,19 @@ class PowerPolicy(abc.ABC):
     def on_finish(self, now: float) -> None:
         """Called once after the trace has drained."""
 
+    def on_disk_failed(self, disk: int, rebuild_active: bool = False) -> None:
+        """Called when a disk fails (fault injection).
+
+        ``rebuild_active`` is True when a rebuild is running (or about to
+        start) for the failed disk's extents. Default: ignore — a policy
+        that does nothing keeps working because the array itself routes
+        around the failure; reacting (e.g. pinning speeds) is an
+        optimization, not a correctness requirement.
+        """
+
+    def on_rebuild_complete(self) -> None:
+        """Called when every extent of every failed disk is re-protected."""
+
     def describe(self) -> str:
         """One-line parameterization string for reports."""
         return self.name

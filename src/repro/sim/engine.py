@@ -28,17 +28,21 @@ class EventHandle:
         cancelled: True once :meth:`cancel` has been called.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple,
+                 engine: "Engine | None" = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
+        if not self.cancelled and self._engine is not None:
+            self._engine._live -= 1
         self.cancelled = True
         # Drop references so cancelled events do not pin large objects
         # while they wait to be popped from the heap.
@@ -78,6 +82,9 @@ class Engine:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        # Count of live (not cancelled) events in the heap, maintained on
+        # push/cancel/pop so `pending_events` is O(1) instead of a scan.
+        self._live = 0
         #: Lifetime count of callbacks executed, across all run() calls.
         #: Deterministic for a given simulation, so it doubles as a
         #: cheap progress/throughput metric (events per wall-second).
@@ -90,8 +97,8 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (not cancelled) events still queued."""
-        return sum(1 for handle in self._heap if not handle.cancelled)
+        """Number of live (not cancelled) events still queued. O(1)."""
+        return self._live
 
     def schedule(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to fire at absolute ``time``.
@@ -103,9 +110,10 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at t={time:.6f} before now={self._now:.6f}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
+        handle = EventHandle(time, self._seq, callback, args, engine=self)
         self._seq += 1
         heapq.heappush(self._heap, handle)
+        self._live += 1
         return handle
 
     def schedule_after(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -157,6 +165,7 @@ class Engine:
                     drained = False
                     break
                 heapq.heappop(self._heap)
+                self._live -= 1
                 self._now = head.time
                 head.callback(*head.args)
                 executed += 1

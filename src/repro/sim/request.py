@@ -107,6 +107,13 @@ class DiskOp:
     started: float | None = None
     finished: float | None = None
     on_complete: object = field(default=None, repr=False)
+    #: Transient-error attempts already consumed by this op. Incremented
+    #: by the disk when an injected fault forces a retry.
+    attempts: int = 0
+    #: True when the op gave up: its retry budget is exhausted or its
+    #: disk failed while the op waited to be retried. A failed op still
+    #: delivers ``on_complete`` exactly once so callers can unwind.
+    failed: bool = False
 
     @property
     def queue_delay(self) -> float:

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 from repro.disks.array import ArrayConfig, DiskArray
 from repro.disks.power import PowerBreakdown
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.obs.events import RequestFailed, RunEnd, RunStart, TraceEvent
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracelog import TraceLog
@@ -112,6 +114,11 @@ class ArraySimulation:
             into ``SimulationResult.events``. Off by default; when off,
             the ``emit`` hook is None everywhere and no event objects are
             ever constructed, so metrics are identical either way.
+        faults: declarative fault plan to inject during the run. None
+            (or an empty plan) installs nothing, keeping the run
+            byte-identical to a fault-free one. Faults scheduled past
+            the trace's drain point never fire — the accounting window
+            is bounded by the workload, exactly as for periodic timers.
     """
 
     def __init__(
@@ -123,6 +130,7 @@ class ArraySimulation:
         window_s: float | None = None,
         keep_latency_samples: bool = True,
         observe: bool = False,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.trace = trace
         self.engine = Engine()
@@ -147,6 +155,11 @@ class ArraySimulation:
         self._outstanding = 0
         self._ran = False
         self.failed_requests = 0
+        # Fault injection: an empty plan is normalized to None so that
+        # FaultPlan() and faults=None take the exact same (hook-free)
+        # code path.
+        self.faults = faults if faults is not None and not faults.empty else None
+        self.injector: FaultInjector | None = None
 
     # -- arrival plumbing ----------------------------------------------------
 
@@ -219,6 +232,11 @@ class ArraySimulation:
             raise RuntimeError("ArraySimulation.run() is single-shot; build a new one")
         self._ran = True
         self.policy.attach(self)
+        if self.faults is not None:
+            self.injector = FaultInjector(
+                self.engine, self.array, self.faults, self.policy,
+            )
+            self.injector.install()
         if self.obs_log is not None:
             # Prepended *after* attach so initial_rpm reflects any instant
             # (force_speed) priming the policy did; every attach-time event
@@ -270,6 +288,22 @@ class ArraySimulation:
         self.metrics.gauge("runtime_events_per_s").set(
             events / wall_s if wall_s > 0 else 0.0
         )
+        if self.injector is not None:
+            # Fault-run extras only — fault-free runs keep the exact key
+            # set they had before, which the byte-identity test pins.
+            self.metrics.gauge("fault_failures_injected").set(
+                float(self.injector.failures_injected)
+            )
+            self.metrics.gauge("fault_op_errors").set(
+                float(sum(d.op_errors for d in self.array.disks))
+            )
+            self.metrics.gauge("fault_op_retries").set(
+                float(sum(d.op_retries for d in self.array.disks))
+            )
+            manager = self.injector.rebuild_manager
+            if manager is not None:
+                self.metrics.gauge("fault_rebuilt_extents").set(float(manager.rebuilt))
+                self.metrics.gauge("fault_unplaced_extents").set(float(manager.unplaced))
         extras.update(self.metrics.as_dict())
         if self.emit is not None:
             self.emit(RunEnd(

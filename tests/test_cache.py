@@ -154,7 +154,14 @@ _RUN_PERTURB = {
     "window_s": lambda v: 60.0,
     "keep_latency_samples": lambda v: not v,
     "observe": lambda v: not v,
+    "faults": lambda v: _fault_plan(),
 }
+
+
+def _fault_plan():
+    from repro.faults.plan import DiskFailure, FaultPlan
+
+    return FaultPlan(disk_failures=(DiskFailure(time_s=1.0, disk=0),))
 
 
 def _array_config():

@@ -159,6 +159,42 @@ def test_pending_events_counts_live_only(engine):
     assert engine.pending_events == 1
 
 
+def test_pending_events_drops_to_zero_after_run(engine):
+    for t in (1.0, 2.0, 3.0):
+        engine.schedule(t, lambda: None)
+    engine.run()
+    assert engine.pending_events == 0
+
+
+def test_pending_events_double_cancel_counts_once(engine):
+    h = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    assert engine.pending_events == 1
+
+
+def test_pending_events_tracks_mid_run_scheduling(engine):
+    """The live counter stays consistent through executed pops,
+    cancelled pops, and events scheduled from inside callbacks."""
+    observed = []
+
+    def first():
+        observed.append(engine.pending_events)  # the later event remains
+        engine.schedule_after(1.0, second)
+        observed.append(engine.pending_events)
+
+    def second():
+        observed.append(engine.pending_events)
+
+    engine.schedule(1.0, first)
+    doomed = engine.schedule(1.5, lambda: None)
+    doomed.cancel()
+    engine.run()
+    assert observed == [0, 1, 0]
+    assert engine.pending_events == 0
+
+
 def test_peek_time_skips_cancelled(engine):
     h1 = engine.schedule(1.0, lambda: None)
     engine.schedule(2.0, lambda: None)

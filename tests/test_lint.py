@@ -256,5 +256,6 @@ def test_tree_is_lint_clean():
 
 
 def test_code_version_was_bumped_for_this_change():
-    """This PR touches sim/ and traces/; the bump must be in place."""
-    assert CODE_VERSION == "2026.08-3"
+    """This PR adds fault injection and retry semantics; the bump must
+    be in place so pre-fault cached results become unreachable."""
+    assert CODE_VERSION == "2026.08-4"

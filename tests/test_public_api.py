@@ -23,6 +23,7 @@ MODULES = [
     "repro.policies", "repro.policies.base", "repro.policies.always_on",
     "repro.policies.tpm", "repro.policies.drpm", "repro.policies.pdc",
     "repro.policies.maid", "repro.policies.oracle",
+    "repro.faults", "repro.faults.plan", "repro.faults.injector",
     "repro.core", "repro.core.temperature", "repro.core.response_model",
     "repro.core.speed_setting", "repro.core.layout", "repro.core.migration",
     "repro.core.guarantee", "repro.core.hibernator",

@@ -101,7 +101,74 @@ def test_rebuild_capacity_limit_reported(engine, small_config):
     engine.run()
     assert manager.rebuilt + manager.unplaced == 20
     assert manager.unplaced > 0
+    assert not manager.complete  # unplaced extents are still exposed
     array.extent_map.check_invariants()
+
+
+def test_unplaced_extents_drain_when_capacity_frees(engine, small_config):
+    """Regression: extents that find no free slot must wait in the
+    backlog and retry on the capacity-freed signal — not silently drop.
+
+    Pressure setup: every survivor's free slots are promised to in-flight
+    migrations, so the rebuilder stalls with the whole disk unplaced.
+    Each migration that completes vacates a slot on its source disk and
+    fires the signal; the backlog must drain to zero through those.
+    """
+    # 7 free slots per disk; a 3-cycle of 7 migrations per target
+    # reserves every one of them before the rebuild starts.
+    config = dataclasses.replace(small_config, raid5=True, slots_override=27)
+    array = DiskArray(engine, config)
+    array.fail_disk(1)
+    manager = RebuildManager(array)
+    survivors = [0, 2, 3]
+    for i, target in enumerate(survivors):
+        source = survivors[(i + 1) % len(survivors)]
+        for extent in sorted(array.extent_map.extents_on(source))[:7]:
+            assert array.migrate_extent(extent, target)
+    scheduled = manager.start(1)
+    assert scheduled == 20
+    assert manager.unplaced == 20  # every free slot is reserved
+    assert not manager.active  # stalled, not spinning
+    assert not manager.complete
+    engine.run()
+    assert manager.unplaced == 0
+    assert manager.rebuilt == 20
+    assert manager.complete
+    assert len(array.extent_map.extents_on(1)) == 0
+    array.extent_map.check_invariants()
+
+
+def test_second_failure_mid_rebuild(engine, raid_array):
+    """A second disk dying mid-rebuild folds into the same rebuild:
+    in-flight extents whose survivor set or target died re-queue, and
+    both disks end up empty."""
+    raid_array.fail_disk(1)
+    done = []
+    manager = RebuildManager(raid_array)
+    manager.start(1, done.append)
+    at_second_failure = {}
+
+    def second_failure() -> None:
+        at_second_failure["rebuilt"] = manager.rebuilt
+        raid_array.fail_disk(2)
+        manager.add_failure(2)
+
+    engine.schedule(0.3, second_failure)
+    engine.run()
+    # The injection genuinely landed mid-rebuild (guards timing drift).
+    assert 0 < at_second_failure["rebuilt"] < 20
+    assert done == [manager]
+    assert manager.complete
+    assert manager.rebuilt == manager.total_scheduled
+    assert len(raid_array.extent_map.extents_on(1)) == 0
+    assert len(raid_array.extent_map.extents_on(2)) == 0
+    raid_array.extent_map.check_invariants()
+
+
+def test_add_failure_requires_started_rebuild(engine, raid_array):
+    raid_array.fail_disk(1)
+    with pytest.raises(RuntimeError):
+        RebuildManager(raid_array).add_failure(1)
 
 
 def test_rebuild_under_load(small_config):
