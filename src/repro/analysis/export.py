@@ -50,8 +50,10 @@ def result_to_dict(
         "mean_power_watts": result.mean_power_watts,
         "energy_breakdown_joules": dict(result.breakdown.joules),
         "mean_response_s": result.mean_response_s,
-        "p95_response_s": result.p95_response_s,
-        "p99_response_s": result.p99_response_s,
+        # Percentiles are NaN when unavailable (keep_latency_samples=False
+        # or no served requests); NaN has no JSON encoding, so export null.
+        "p95_response_s": _json_safe(result.p95_response_s),
+        "p99_response_s": _json_safe(result.p99_response_s),
         "max_response_s": result.max_response_s,
         "goal_s": result.goal_s,
         "meets_goal": result.meets_goal,

@@ -185,6 +185,9 @@ def _build_policy(name: str, args: argparse.Namespace, trace: Trace,
 
 def _result_block(result: SimulationResult, base: SimulationResult | None,
                   goal: float | None) -> str:
+    import math
+
+    p95 = result.p95_response_s
     pairs = [
         ("policy", result.policy_params),
         ("requests", f"{result.num_requests}"),
@@ -192,7 +195,9 @@ def _result_block(result: SimulationResult, base: SimulationResult | None,
         ("energy", f"{result.energy_joules / 1e3:.1f} kJ"),
         ("mean power", f"{result.mean_power_watts:.1f} W"),
         ("mean response", f"{result.mean_response_s * 1e3:.2f} ms"),
-        ("p95 response", f"{result.p95_response_s * 1e3:.2f} ms"),
+        # NaN means "percentiles unavailable" (samples not kept), which
+        # must not render as a plausible-looking 0.00 ms.
+        ("p95 response", "n/a" if math.isnan(p95) else f"{p95 * 1e3:.2f} ms"),
         ("max response", f"{result.max_response_s * 1e3:.1f} ms"),
     ]
     if base is not None:
@@ -393,6 +398,83 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if result.has_errors else 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from datetime import datetime, timezone
+    from pathlib import Path
+
+    from repro.lint.guard import resolve_repo_root
+    from repro.perf import (
+        compare_benchmarks,
+        find_baseline,
+        load_bench,
+        profile_scenarios,
+        run_benchmark,
+        select_scenarios,
+        write_bench,
+        write_golden,
+    )
+
+    try:
+        scenarios = select_scenarios(
+            names=args.scenario or None, quick=args.quick
+        )
+    except ValueError as exc:
+        print(f"repro perf: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list:
+        for s in scenarios:
+            quick = " (quick)" if s.quick else ""
+            print(f"{s.name:<28} trace={s.trace} policy={s.policy} "
+                  f"faults={s.faults}{quick}")
+        return 0
+
+    if args.write_golden:
+        digests = write_golden(args.write_golden)
+        print(f"wrote {len(digests)} golden digest(s) to {args.write_golden}")
+        return 0
+
+    if args.profile:
+        print(profile_scenarios(scenarios, top=args.top))
+        return 0
+
+    print(f"== repro perf: {len(scenarios)} scenario(s), "
+          f"best of {args.repeats} repeat(s) ==")
+    doc = run_benchmark(scenarios, repeats=args.repeats, log=print)
+
+    root = resolve_repo_root(Path.cwd())
+    if args.out:
+        out = Path(args.out)
+    else:
+        stamp = datetime.now(timezone.utc).strftime("%Y-%m-%d")
+        out = root / f"BENCH_{stamp}.json"
+    write_bench(doc, out)
+    print(f"wrote {out}")
+
+    if args.baseline:
+        baseline_path: Path | None = Path(args.baseline)
+    else:
+        baseline_path = find_baseline(root, exclude=out)
+    if baseline_path is None:
+        print("no committed BENCH_*.json baseline found; nothing to compare")
+        return 0
+    try:
+        baseline = load_bench(baseline_path)
+    except (ValueError, OSError) as exc:
+        print(f"repro perf: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+    print(f"baseline: {baseline_path} (generated {baseline.get('generated_at')})")
+    lines, regressions = compare_benchmarks(doc, baseline, threshold=args.threshold)
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"PERF REGRESSION in {len(regressions)} scenario(s): "
+              f"{', '.join(regressions)}")
+        return 1
+    print("no perf regression")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.analysis.cache import CODE_VERSION, ResultCache
 
@@ -500,6 +582,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="also list suppressed findings (text format)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "perf",
+        help="run the canonical benchmark scenarios and gate on regressions",
+        description="Microbenchmark harness: runs a fixed scenario matrix "
+                    "through the real experiment stack, writes a "
+                    "machine-readable BENCH_<date>.json at the repo root "
+                    "and compares events/s against the most recent "
+                    "committed BENCH file. Exit codes: 0 no regression "
+                    "(or no baseline), 1 regression, 2 usage error.",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="run only the quick subset (CI smoke)")
+    p.add_argument("--scenario", action="append",
+                   help="run only this scenario (repeatable)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="repeats per scenario; best wall time wins (default 3)")
+    p.add_argument("--out", help="output BENCH path (default "
+                                 "BENCH_<utc-date>.json at the repo root)")
+    p.add_argument("--baseline", help="explicit baseline BENCH file "
+                                      "(default: newest committed BENCH_*.json)")
+    p.add_argument("--threshold", type=float, default=0.9,
+                   help="regression threshold as a fraction of baseline "
+                        "events/s (default 0.9)")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile the selected scenarios and print the "
+                        "hottest functions instead of benchmarking")
+    p.add_argument("--top", type=int, default=25,
+                   help="rows in the --profile report (default 25)")
+    p.add_argument("--write-golden", metavar="PATH",
+                   help="run the golden scenarios and write their result "
+                        "digests to PATH (regenerates the identity pins)")
+    p.add_argument("--list", action="store_true",
+                   help="list the selected scenarios and exit")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
     p.add_argument("--cache-dir", required=True, help="cache directory")

@@ -101,6 +101,11 @@ class DiskArray:
             raise ValueError("RAID-5 needs at least two disks")
         self.engine = engine
         self.config = config
+        # Hot-path copies of immutable config fields: submit() consults
+        # these per request and the config attribute chain is measurable.
+        self._num_extents = config.num_extents
+        self._raid5 = config.raid5
+        self._write_cache = config.write_cache
         self.extent_map = ExtentMap(
             num_extents=config.num_extents,
             num_disks=config.num_disks,
@@ -157,7 +162,7 @@ class DiskArray:
     def submit(self, request: Request, on_complete: RequestCallback | None = None) -> None:
         """Issue a logical request; ``on_complete(request)`` fires when the
         last physical op finishes."""
-        if not 0 <= request.extent < self.config.num_extents:
+        if not 0 <= request.extent < self._num_extents:
             raise ValueError(f"extent {request.extent} out of range")
         placement = self.redirect(request) if self.redirect is not None else None
         if placement is not None and placement[0] in self.failed_disks:
@@ -170,14 +175,21 @@ class DiskArray:
         else:
             data_disk = self.extent_map.disk_of(request.extent)
             data_block = self.extent_map.slot_of(request.extent)
+        kind = request.kind
         if not self.failed_disks:
-            physicals = expand_request(
-                request,
-                data_disk=data_disk,
-                data_block=data_block,
-                num_disks=self.config.num_disks,
-                raid5=self.config.raid5,
-            )
+            if not self._raid5 or kind is IoKind.READ:
+                # Healthy non-RAID (or RAID read) expansion is exactly one
+                # op at the extent's placement; skip the PhysicalIo fan-out
+                # on this, the dominant path. `physicals is None` marks it.
+                physicals = None
+            else:
+                physicals = expand_request(
+                    request,
+                    data_disk=data_disk,
+                    data_block=data_block,
+                    num_disks=self.config.num_disks,
+                    raid5=self.config.raid5,
+                )
         else:
             physicals = expand_request_degraded(
                 request,
@@ -195,16 +207,19 @@ class DiskArray:
                 if on_complete is not None:
                     on_complete(request)
                 return
-            if data_disk in self.failed_disks and request.kind is IoKind.READ:
+            if data_disk in self.failed_disks and kind is IoKind.READ:
                 self.degraded_reads += 1
         if (
-            self.config.write_cache
-            and request.kind is IoKind.WRITE
+            self._write_cache
+            and kind is IoKind.WRITE
             and request.klass is RequestClass.FOREGROUND
         ):
             # Write-back cache: acknowledge now, destage in background.
-            for phys in physicals:
-                self.submit_background_op(phys.disk, phys.block, phys.kind, phys.size)
+            if physicals is None:
+                self.submit_background_op(data_disk, data_block, kind, request.size)
+            else:
+                for phys in physicals:
+                    self.submit_background_op(phys.disk, phys.block, phys.kind, phys.size)
 
             def _acknowledge(request: Request = request) -> None:
                 request.completion = self.engine.now
@@ -212,10 +227,11 @@ class DiskArray:
                 if on_complete is not None:
                     on_complete(request)
 
-            self.engine.schedule_after(self.config.write_cache_latency_s, _acknowledge)
+            # Acknowledgements always fire: tuple fast path.
+            self.engine.schedule_after_fast(self.config.write_cache_latency_s, _acknowledge)
             return
 
-        request.ops_outstanding = len(physicals)
+        request.ops_outstanding = 1 if physicals is None else len(physicals)
 
         def _op_done(op: DiskOp, request: Request = request) -> None:
             if op.failed:
@@ -233,6 +249,16 @@ class DiskArray:
                 if on_complete is not None:
                     on_complete(request)
 
+        if physicals is None:
+            self.disks[data_disk].submit(DiskOp(
+                request=request,
+                kind=kind,
+                disk_index=data_disk,
+                block=data_block,
+                size=request.size,
+                on_complete=_op_done,
+            ))
+            return
         for phys in physicals:
             op = DiskOp(
                 request=request,

@@ -95,6 +95,11 @@ class MultiSpeedDisk:
         )
         # Speed the disk should run at when spinning; spin-ups go here.
         self._requested_rpm = initial_rpm if initial_rpm != 0 else spec.max_rpm
+        # Per-rpm power caches: idle_watts does a float pow per call and
+        # both are hit on every service start/completion, while a disk
+        # only ever runs at a handful of discrete speeds.
+        self._idle_watts_cache: dict[int, float] = {}
+        self._active_watts_cache: dict[int, float] = {}
         self._in_flight: DiskOp | None = None
         self._transition_target: int | None = None
         # Observability hooks for policies (TPM idle timers, DRPM sampling).
@@ -230,6 +235,18 @@ class MultiSpeedDisk:
 
     # -- internals ------------------------------------------------------------
 
+    def _idle_watts(self, rpm: int) -> float:
+        watts = self._idle_watts_cache.get(rpm)
+        if watts is None:
+            watts = self._idle_watts_cache[rpm] = self.spec.idle_watts(rpm)
+        return watts
+
+    def _active_watts(self, rpm: int) -> float:
+        watts = self._active_watts_cache.get(rpm)
+        if watts is None:
+            watts = self._active_watts_cache[rpm] = self.spec.active_watts(rpm)
+        return watts
+
     def _begin_transition(self, to_rpm: int) -> None:
         now = self.engine.now
         if to_rpm == self.rpm:
@@ -249,7 +266,8 @@ class MultiSpeedDisk:
             self.emit(SpeedTransition(
                 time=now, disk=self.index, from_rpm=self.rpm, to_rpm=to_rpm,
             ))
-        self.engine.schedule_after(duration, self._finish_transition)
+        # Transitions always run to completion: fast path.
+        self.engine.schedule_after_fast(duration, self._finish_transition)
 
     def _finish_transition(self) -> None:
         now = self.engine.now
@@ -264,7 +282,7 @@ class MultiSpeedDisk:
                 self._begin_transition(self._requested_rpm or self.spec.max_rpm)
             else:
                 self.state = DiskState.IDLE
-                self.meter.update(now, self.spec.idle_watts(self.rpm), "idle")
+                self.meter.update(now, self._idle_watts(self.rpm), "idle")
                 self._start_service()
             return
         if self.rpm == 0:
@@ -280,11 +298,11 @@ class MultiSpeedDisk:
             return
         if self.queue:
             self.state = DiskState.IDLE
-            self.meter.update(now, self.spec.idle_watts(self.rpm), "idle")
+            self.meter.update(now, self._idle_watts(self.rpm), "idle")
             self._start_service()
         else:
             self.state = DiskState.IDLE
-            self.meter.update(now, self.spec.idle_watts(self.rpm), "idle")
+            self.meter.update(now, self._idle_watts(self.rpm), "idle")
             self._notify_idle()
 
     def _start_service(self) -> None:
@@ -293,7 +311,7 @@ class MultiSpeedDisk:
         op = self.queue.pop(self.head_block)
         self._in_flight = op
         self.state = DiskState.ACTIVE
-        self.meter.update(now, self.spec.active_watts(self.rpm), "active")
+        self.meter.update(now, self._active_watts(self.rpm), "active")
         service = self.mechanics.service_time(
             from_block=self.head_block,
             to_block=op.block,
@@ -305,7 +323,8 @@ class MultiSpeedDisk:
         if self.fault_state is not None:
             service *= self.fault_state.slow_factor(now)
         op.started = now
-        self.engine.schedule_after(service, self._complete, op)
+        # Service completions are never cancelled: fast path.
+        self.engine.schedule_after_fast(service, self._complete, (op,))
 
     def _complete(self, op: DiskOp) -> None:
         now = self.engine.now
@@ -319,7 +338,7 @@ class MultiSpeedDisk:
             self.bytes_transferred += op.size
         self.last_activity_time = now
         self.state = DiskState.IDLE
-        self.meter.update(now, self.spec.idle_watts(self.rpm), "idle")
+        self.meter.update(now, self._idle_watts(self.rpm), "idle")
         if op.on_complete is not None:
             op.on_complete(op)
         if self.failed:
@@ -378,8 +397,8 @@ class MultiSpeedDisk:
         self.head_block = op.block
         self.last_activity_time = now
         self.state = DiskState.IDLE
-        self.meter.update(now, self.spec.idle_watts(self.rpm), "idle")
-        self.engine.schedule_after(backoff, self._resubmit, op)
+        self.meter.update(now, self._idle_watts(self.rpm), "idle")
+        self.engine.schedule_after_fast(backoff, self._resubmit, (op,))
         if self._requested_rpm != self.rpm:
             self._begin_transition(self._requested_rpm)
         elif self.queue:

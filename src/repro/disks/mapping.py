@@ -51,8 +51,10 @@ class ExtentMap:
         self.num_extents = num_extents
         self.num_disks = num_disks
         self.slots_per_disk = slots_per_disk
-        self._disk = np.empty(num_extents, dtype=np.int32)
-        self._slot = np.empty(num_extents, dtype=np.int32)
+        # Plain lists, not numpy: disk_of/slot_of sit on the per-request
+        # path, and list indexing returns a native int with no boxing.
+        self._disk: list[int] = [0] * num_extents
+        self._slot: list[int] = [0] * num_extents
         self._residents: list[set[int]] = [set() for _ in range(num_disks)]
         self._free_slots: list[list[int]] = [
             list(range(slots_per_disk - 1, -1, -1)) for _ in range(num_disks)
@@ -76,11 +78,11 @@ class ExtentMap:
 
     def disk_of(self, extent: int) -> int:
         """Disk currently holding ``extent``."""
-        return int(self._disk[extent])
+        return self._disk[extent]
 
     def slot_of(self, extent: int) -> int:
         """Slot (physical block position) of ``extent`` on its disk."""
-        return int(self._slot[extent])
+        return self._slot[extent]
 
     def extents_on(self, disk: int) -> set[int]:
         """Extents resident on ``disk`` (live view; do not mutate)."""
@@ -102,12 +104,12 @@ class ExtentMap:
         Raises:
             ValueError: if ``to_disk`` has no free slot.
         """
-        from_disk = int(self._disk[extent])
+        from_disk = self._disk[extent]
         if from_disk == to_disk:
             return
         if not self._free_slots[to_disk]:
             raise ValueError(f"disk {to_disk} has no free slot for extent {extent}")
-        self._free_slots[from_disk].append(int(self._slot[extent]))
+        self._free_slots[from_disk].append(self._slot[extent])
         self._residents[from_disk].discard(extent)
         self._place(extent, to_disk)
 
@@ -115,8 +117,8 @@ class ExtentMap:
         """Exchange the placements of extents ``a`` and ``b``."""
         if a == b:
             return
-        disk_a, slot_a = int(self._disk[a]), int(self._slot[a])
-        disk_b, slot_b = int(self._disk[b]), int(self._slot[b])
+        disk_a, slot_a = self._disk[a], self._slot[a]
+        disk_b, slot_b = self._disk[b], self._slot[b]
         self._disk[a], self._slot[a] = disk_b, slot_b
         self._disk[b], self._slot[b] = disk_a, slot_a
         if disk_a != disk_b:
@@ -131,8 +133,8 @@ class ExtentMap:
         """Verify internal consistency; raises AssertionError on breakage."""
         seen: set[tuple[int, int]] = set()
         for extent in range(self.num_extents):
-            disk = int(self._disk[extent])
-            slot = int(self._slot[extent])
+            disk = self._disk[extent]
+            slot = self._slot[extent]
             assert 0 <= disk < self.num_disks, f"extent {extent} on bad disk {disk}"
             assert 0 <= slot < self.slots_per_disk, f"extent {extent} in bad slot {slot}"
             assert (disk, slot) not in seen, f"slot collision at {(disk, slot)}"
@@ -141,7 +143,7 @@ class ExtentMap:
         total_resident = sum(len(r) for r in self._residents)
         assert total_resident == self.num_extents, "resident sets out of sync"
         for disk in range(self.num_disks):
-            used = {int(self._slot[e]) for e in self._residents[disk]}
+            used = {self._slot[e] for e in self._residents[disk]}
             free = set(self._free_slots[disk])
             assert not (used & free), f"disk {disk}: slot both used and free"
             assert len(used) + len(free) == self.slots_per_disk, f"disk {disk}: slots leaked"

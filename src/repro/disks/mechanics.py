@@ -58,6 +58,9 @@ class DiskMechanics:
         # Calibrate the curve so random-pair average equals the sheet value.
         self.max_seek_s = spec.min_seek_s + (spec.avg_seek_s - spec.min_seek_s) / _MEAN_SQRT_DIST
         self._seek_span = self.max_seek_s - self.min_seek_s
+        # (rotation_s, transfer_bps) per rpm: both are pure functions of
+        # the speed level and service_time needs them on every op.
+        self._rpm_cache: dict[int, tuple[float, float]] = {}
 
     # -- sampled service --------------------------------------------------
 
@@ -105,12 +108,25 @@ class DiskMechanics:
         """
         if rpm <= 0:
             raise ValueError("disk must be spinning to serve an op")
-        span = max(total_blocks - 1, 1)
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size: {size_bytes}")
+        # Inlined seek_time/rotational_latency/transfer_time (same math,
+        # same operation order): this runs once per physical op and the
+        # three method hops plus per-call rotation/bps recomputation were
+        # measurable. The standalone methods remain for analytic callers.
+        span = total_blocks - 1
+        if span < 1:
+            span = 1
         distance = abs(to_block - from_block) / span
-        seek = self.seek_time(min(distance, 1.0))
-        rotation = self.rotational_latency(rpm, rng)
-        transfer = self.transfer_time(size_bytes, rpm)
-        return seek + rotation + transfer
+        if distance > 1.0:
+            distance = 1.0
+        seek = 0.0 if distance == 0.0 else self.min_seek_s + self._seek_span * math.sqrt(distance)
+        cached = self._rpm_cache.get(rpm)
+        if cached is None:
+            cached = self._rpm_cache[rpm] = (self.spec.rotation_s(rpm), self.spec.transfer_bps(rpm))
+        rotation_s, bps = cached
+        rotation = rotation_s / 2.0 if rng is None else float(rng.uniform(0.0, rotation_s))
+        return seek + rotation + size_bytes / bps
 
     # -- analytic moments (for the CR optimizer) ---------------------------
 

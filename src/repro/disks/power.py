@@ -74,11 +74,19 @@ class EnergyMeter:
 
     def update(self, now: float, watts: float, label: str) -> None:
         """Close the current interval and start drawing ``watts``."""
-        if now < self._last_time:
-            raise ValueError(f"time went backwards: {now} < {self._last_time}")
-        elapsed = now - self._last_time
+        last = self._last_time
+        if now < last:
+            raise ValueError(f"time went backwards: {now} < {last}")
+        elapsed = now - last
         if elapsed > 0.0:
-            self.breakdown.add(self._label, self._watts * elapsed, elapsed)
+            # Inlined PowerBreakdown.add: this runs twice per physical op
+            # (service start and completion) and the method hop showed up
+            # in profiles. Same arithmetic, same accumulation order.
+            breakdown = self.breakdown
+            joules, seconds = breakdown.joules, breakdown.seconds
+            current = self._label
+            joules[current] = joules.get(current, 0.0) + self._watts * elapsed
+            seconds[current] = seconds.get(current, 0.0) + elapsed
         self._last_time = now
         self._watts = watts
         self._label = label

@@ -66,6 +66,8 @@ class RetryPolicy:
 class QueueDiscipline(abc.ABC):
     """Order ops waiting for one disk."""
 
+    __slots__ = ()
+
     name = "discipline"
 
     @abc.abstractmethod
@@ -83,6 +85,9 @@ class QueueDiscipline(abc.ABC):
     def __len__(self) -> int: ...
 
     def __bool__(self) -> bool:
+        # Subclasses override with a direct truth test on their storage;
+        # this generic fallback costs a __len__ dispatch per emptiness
+        # check, which the disk does twice per op.
         return len(self) > 0
 
     @abc.abstractmethod
@@ -94,6 +99,7 @@ class FcfsQueue(QueueDiscipline):
     """First come, first served."""
 
     name = "fcfs"
+    __slots__ = ("_queue",)
 
     def __init__(self) -> None:
         self._queue: deque[DiskOp] = deque()
@@ -107,6 +113,9 @@ class FcfsQueue(QueueDiscipline):
     def __len__(self) -> int:
         return len(self._queue)
 
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
     def clear(self) -> None:
         self._queue.clear()
 
@@ -119,6 +128,7 @@ class SstfQueue(QueueDiscipline):
     """
 
     name = "sstf"
+    __slots__ = ("_ops",)
 
     def __init__(self) -> None:
         self._ops: list[DiskOp] = []
@@ -140,6 +150,9 @@ class SstfQueue(QueueDiscipline):
     def __len__(self) -> int:
         return len(self._ops)
 
+    def __bool__(self) -> bool:
+        return bool(self._ops)
+
     def clear(self) -> None:
         self._ops.clear()
 
@@ -148,6 +161,7 @@ class ScanQueue(QueueDiscipline):
     """Elevator (SCAN): serve in the sweep direction, reverse at the end."""
 
     name = "scan"
+    __slots__ = ("_ops", "_direction")
 
     def __init__(self) -> None:
         self._ops: list[DiskOp] = []
@@ -179,6 +193,9 @@ class ScanQueue(QueueDiscipline):
 
     def __len__(self) -> int:
         return len(self._ops)
+
+    def __bool__(self) -> bool:
+        return bool(self._ops)
 
     def clear(self) -> None:
         self._ops.clear()

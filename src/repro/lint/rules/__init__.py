@@ -6,9 +6,10 @@ Rule id namespaces:
 * ``UNIT00x`` — unit consistency (:mod:`repro.lint.rules.units`)
 * ``CACHE00x`` — cache-key completeness (:mod:`repro.lint.rules.cachekey`)
 * ``OBS00x`` — observability pairing (:mod:`repro.lint.rules.obspairing`)
+* ``PERF00x`` — engine fast-path contracts (:mod:`repro.lint.rules.perf`)
 * ``LINT00x/9xx`` — engine pseudo-rules (:mod:`repro.lint.engine`)
 """
 
-from repro.lint.rules import cachekey, determinism, obspairing, units
+from repro.lint.rules import cachekey, determinism, obspairing, perf, units
 
-__all__ = ["cachekey", "determinism", "obspairing", "units"]
+__all__ = ["cachekey", "determinism", "obspairing", "perf", "units"]

@@ -1,0 +1,221 @@
+"""Benchmark execution, BENCH files, and the regression gate.
+
+A BENCH document is plain JSON::
+
+    {
+      "schema": 1,
+      "generated_at": "2026-08-05T12:00:00+00:00",
+      "code_version": "...",          # repro.analysis.cache.CODE_VERSION
+      "environment": {"python": ..., "platform": ..., "cpu_count": ...},
+      "repeats": 3,
+      "scenarios": {
+        "synth-base": {
+          "events": 71234, "requests": 35617, "wall_s": 1.04,
+          "events_per_s": 68494.2, "requests_per_s": 34247.1,
+          "digest": "<sha256 of the runtime-stripped result>"
+        }, ...
+      }
+    }
+
+The *baseline* is the committed ``BENCH_*.json`` at the repo root with
+the newest ``generated_at`` (the output file itself excluded), so simply
+committing a new BENCH file advances the baseline for the next run.
+Comparison is per-scenario on ``events_per_s``; a scenario below
+``threshold`` times its baseline rate is a regression and the CLI exits
+nonzero, mirroring ``repro lint``'s exit-code contract.
+
+Wall time per scenario is the **best of N repeats** — the minimum is the
+standard estimator for "the code's cost" because every source of noise
+(scheduler, turbo, page cache) only ever adds time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.analysis.cache import CODE_VERSION
+from repro.analysis.parallel import run_spec
+from repro.lint.guard import resolve_repo_root
+from repro.perf.digest import DIGEST_VERSION, result_digest
+from repro.perf.scenarios import PerfScenario, golden_specs
+
+BENCH_SCHEMA_VERSION = 1
+BENCH_PREFIX = "BENCH_"
+
+#: A scenario is a regression when its events/s falls below this
+#: fraction of the baseline's (0.9 = tolerate 10% noise).
+DEFAULT_THRESHOLD = 0.9
+
+
+def _run_one(scenario: PerfScenario, repeats: int) -> dict[str, Any]:
+    """Run ``scenario`` ``repeats`` times; record best wall time."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats!r}")
+    best_wall = float("inf")
+    digests: set[str] = set()
+    result = None
+    for _ in range(repeats):
+        spec = scenario.spec()  # fresh spec per repeat: policies are stateful
+        start = time.perf_counter()
+        result = run_spec(spec)
+        wall = time.perf_counter() - start
+        best_wall = min(best_wall, wall)
+        digests.add(result_digest(result))
+    if len(digests) != 1:
+        # The harness doubles as a cheap determinism canary: repeats of
+        # one spec must be byte-identical (modulo runtime_* extras).
+        raise RuntimeError(
+            f"scenario {scenario.name!r} produced {len(digests)} distinct "
+            "result digests across repeats; the simulator leaked "
+            "nondeterminism"
+        )
+    assert result is not None
+    events = int(result.extras["runtime_events"])
+    requests = result.num_requests + result.failed_requests
+    return {
+        "events": events,
+        "requests": requests,
+        "wall_s": best_wall,
+        "events_per_s": events / best_wall,
+        "requests_per_s": requests / best_wall,
+        "digest": digests.pop(),
+    }
+
+
+def run_benchmark(
+    scenarios: tuple[PerfScenario, ...],
+    repeats: int = 3,
+    log: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the scenarios and build a BENCH document."""
+    records: dict[str, Any] = {}
+    for scenario in scenarios:
+        record = _run_one(scenario, repeats)
+        records[scenario.name] = record
+        if log is not None:
+            log(
+                f"  {scenario.name:<28} {record['events']:>8} events  "
+                f"{record['wall_s']:.3f} s  {record['events_per_s']:>10,.0f} ev/s"
+            )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "code_version": CODE_VERSION,
+        "digest_version": DIGEST_VERSION,
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "repeats": repeats,
+        "scenarios": records,
+    }
+
+
+def write_bench(doc: dict[str, Any], path: str | Path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "scenarios" not in doc:
+        raise ValueError(f"{path}: not a BENCH document")
+    return doc
+
+
+def find_baseline(
+    root: str | Path | None = None, exclude: str | Path | None = None
+) -> Path | None:
+    """Newest committed BENCH file by ``generated_at``; None if none.
+
+    ``exclude`` is the output path of the current run, so a rerun never
+    compares against itself.
+    """
+    base = Path(root) if root is not None else resolve_repo_root(Path.cwd())
+    excluded = Path(exclude).resolve() if exclude is not None else None
+    best: tuple[str, Path] | None = None
+    for path in sorted(base.glob(BENCH_PREFIX + "*.json")):
+        if excluded is not None and path.resolve() == excluded:
+            continue
+        try:
+            doc = load_bench(path)
+        except (ValueError, OSError, json.JSONDecodeError):
+            continue
+        stamp = str(doc.get("generated_at", ""))
+        if best is None or stamp > best[0]:
+            best = (stamp, path)
+    return best[1] if best is not None else None
+
+
+def compare_benchmarks(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[str], list[str]]:
+    """Per-scenario speedup report.
+
+    Returns ``(lines, regressions)``: human-readable comparison lines
+    for every scenario present in both documents, and the names of
+    scenarios whose ``events_per_s`` fell below ``threshold`` times the
+    baseline. Scenarios present on only one side are reported but never
+    regressions (renames/additions must not wedge the gate).
+    """
+    if not 0.0 < threshold:
+        raise ValueError(f"threshold must be positive, got {threshold!r}")
+    lines: list[str] = []
+    regressions: list[str] = []
+    cur = current["scenarios"]
+    base = baseline["scenarios"]
+    for name in sorted(set(cur) | set(base)):
+        if name not in base:
+            lines.append(f"  {name:<28} (new scenario, no baseline)")
+            continue
+        if name not in cur:
+            lines.append(f"  {name:<28} (in baseline only; not run)")
+            continue
+        old = float(base[name]["events_per_s"])
+        new = float(cur[name]["events_per_s"])
+        ratio = new / old if old > 0 else float("inf")
+        marker = ""
+        if ratio < threshold:
+            regressions.append(name)
+            marker = f"  REGRESSION (< {threshold:.2f}x)"
+        lines.append(
+            f"  {name:<28} {old:>10,.0f} -> {new:>10,.0f} ev/s "
+            f"({ratio:.2f}x){marker}"
+        )
+    return lines, regressions
+
+
+def write_golden(path: str | Path) -> dict[str, str]:
+    """Run the golden scenarios and write their digests to ``path``.
+
+    This is how ``tests/golden/golden_results.json`` is (re)generated —
+    only legitimate when a change *intends* to alter results, in which
+    case ``CODE_VERSION`` must be bumped too (CACHE002 enforces that).
+    """
+    digests = {name: result_digest(run_spec(spec))
+               for name, spec in sorted(golden_specs().items())}
+    doc = {
+        "schema": 1,
+        "digest_version": DIGEST_VERSION,
+        "code_version": CODE_VERSION,
+        "digests": digests,
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return digests

@@ -1,0 +1,32 @@
+"""cProfile wrapper for the benchmark scenarios (``repro perf --profile``)."""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+from repro.analysis.parallel import run_spec
+from repro.perf.scenarios import PerfScenario
+
+
+def profile_scenarios(scenarios: tuple[PerfScenario, ...], top: int = 25) -> str:
+    """Run the scenarios once each under one profiler; return the report.
+
+    One shared profiler (rather than one per scenario) answers the
+    question the flag exists for — *where does the whole matrix spend
+    its time* — and keeps rarely-hit paths from being drowned out by
+    per-report noise floors.
+    """
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top!r}")
+    profiler = cProfile.Profile()
+    for scenario in scenarios:
+        spec = scenario.spec()
+        profiler.enable()
+        run_spec(spec)
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    return stream.getvalue()

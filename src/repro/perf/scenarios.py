@@ -1,0 +1,223 @@
+"""The canonical benchmark scenario matrix.
+
+Eight scenarios cover the hot paths the simulator actually exercises:
+{synthetic Poisson, cello-style diurnal} traces x {always-on,
+Hibernator} policies x {fault-free, faulty}. Each is expressed as a
+:class:`~repro.analysis.parallel.RunSpec` recipe, so a scenario runs
+through the exact same stack as a real experiment (trace generated in
+place, policy built fresh per run — policies are stateful).
+
+Sizes are chosen so one scenario takes on the order of a second at the
+pre-optimization throughput: big enough that per-event costs dominate
+setup, small enough that ``repro perf`` stays a coffee-length command.
+
+The smaller :func:`golden_specs` set anchors byte-identity: the results
+of these runs are digest-pinned by ``tests/golden/golden_results.json``
+and must survive any performance work unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.experiments import default_array_config
+from repro.analysis.parallel import PolicySpec, RunSpec, TraceSpec
+from repro.disks.array import ArrayConfig
+from repro.faults.plan import FaultPlan, SlowDiskFault, TransientFault
+from repro.traces.cello import CelloConfig
+from repro.traces.synthetic import SyntheticConfig
+
+#: Array shape shared by every scenario: small enough to generate
+#: quickly, wide enough that placement/queueing behave like the paper's.
+NUM_DISKS = 8
+NUM_EXTENTS = 800
+
+#: Fixed response-time goal for the Hibernator scenarios. A constant
+#: (rather than a Base-derived goal) keeps each scenario self-contained
+#: and its digest independent of any other run.
+GOAL_S = 0.03
+
+#: Short control epoch so Hibernator actually migrates and changes
+#: speeds inside the benchmark window.
+EPOCH_S = 60.0
+
+
+def _array() -> ArrayConfig:
+    return default_array_config(num_disks=NUM_DISKS, num_extents=NUM_EXTENTS)
+
+
+def _synthetic() -> TraceSpec:
+    return TraceSpec.from_generator(
+        "synthetic",
+        SyntheticConfig(
+            name="perf-synth",
+            duration=240.0,
+            rate=150.0,
+            num_extents=NUM_EXTENTS,
+            zipf_theta=0.9,
+            seed=11,
+        ),
+    )
+
+
+def _cello() -> TraceSpec:
+    return TraceSpec.from_generator(
+        "cello",
+        CelloConfig(
+            days=1.0,
+            day_length_s=1200.0,
+            day_rate=60.0,
+            night_rate=6.0,
+            num_extents=NUM_EXTENTS,
+            seed=7,
+        ),
+    )
+
+
+def _synthetic_faults() -> FaultPlan:
+    # Transient error window plus one sick-but-alive disk; no outright
+    # disk deaths, so the fault path is exercised without the run's
+    # length depending on rebuild scheduling.
+    return FaultPlan(
+        transient_faults=(TransientFault(start_s=40.0, end_s=120.0, probability=0.05),),
+        slow_disk_faults=(SlowDiskFault(start_s=60.0, end_s=150.0, factor=3.0, disks=(1,)),),
+    )
+
+
+def _cello_faults() -> FaultPlan:
+    return FaultPlan(
+        transient_faults=(TransientFault(start_s=200.0, end_s=600.0, probability=0.05),),
+        slow_disk_faults=(SlowDiskFault(start_s=300.0, end_s=750.0, factor=3.0, disks=(1,)),),
+    )
+
+
+_TRACES = {"synthetic": _synthetic, "cello": _cello}
+_FAULTS = {"synthetic": _synthetic_faults, "cello": _cello_faults}
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One canonical benchmark scenario.
+
+    Attributes:
+        name: stable identifier, used as the key in BENCH files —
+            renaming a scenario orphans its baseline history.
+        trace: ``"synthetic"`` or ``"cello"``.
+        policy: ``"base"`` (always-on) or ``"hibernator"``.
+        faults: inject the trace kind's fault plan.
+        quick: member of the ``--quick`` subset (CI smoke).
+    """
+
+    name: str
+    trace: str
+    policy: str
+    faults: bool
+    quick: bool = False
+
+    def spec(self) -> RunSpec:
+        """A fresh, fully self-contained run recipe for this scenario."""
+        if self.policy == "base":
+            policy = PolicySpec.named("base")
+            goal = None
+        else:
+            policy = PolicySpec.named("hibernator", epoch_seconds=EPOCH_S)
+            goal = GOAL_S
+        return RunSpec(
+            trace=_TRACES[self.trace](),
+            array=_array(),
+            policy=policy,
+            goal_s=goal,
+            faults=_FAULTS[self.trace]() if self.faults else None,
+        )
+
+
+PERF_SCENARIOS: tuple[PerfScenario, ...] = (
+    PerfScenario("synth-base", "synthetic", "base", faults=False, quick=True),
+    PerfScenario("synth-hibernator", "synthetic", "hibernator", faults=False),
+    PerfScenario("synth-base-faults", "synthetic", "base", faults=True),
+    PerfScenario("synth-hibernator-faults", "synthetic", "hibernator", faults=True,
+                 quick=True),
+    PerfScenario("cello-base", "cello", "base", faults=False),
+    PerfScenario("cello-hibernator", "cello", "hibernator", faults=False, quick=True),
+    PerfScenario("cello-base-faults", "cello", "base", faults=True),
+    PerfScenario("cello-hibernator-faults", "cello", "hibernator", faults=True),
+)
+
+
+def select_scenarios(
+    names: list[str] | None = None, quick: bool = False
+) -> tuple[PerfScenario, ...]:
+    """Resolve a CLI selection to scenarios (ValueError on unknown names)."""
+    if names:
+        by_name = {s.name: s for s in PERF_SCENARIOS}
+        unknown = sorted(set(names) - set(by_name))
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s) {unknown}; known: {sorted(by_name)}"
+            )
+        return tuple(by_name[n] for n in names)
+    if quick:
+        return tuple(s for s in PERF_SCENARIOS if s.quick)
+    return PERF_SCENARIOS
+
+
+# -- golden (byte-identity) scenarios ---------------------------------------
+
+
+def _golden_trace() -> TraceSpec:
+    return TraceSpec.from_generator(
+        "synthetic",
+        SyntheticConfig(
+            name="golden-synth",
+            duration=60.0,
+            rate=60.0,
+            num_extents=NUM_EXTENTS,
+            zipf_theta=0.9,
+            seed=23,
+        ),
+    )
+
+
+def golden_specs() -> dict[str, RunSpec]:
+    """The digest-pinned run recipes, by name.
+
+    Small on purpose (they run inside the tier-1 test suite) but chosen
+    to cover every accounting surface performance work touches: plain
+    replay, Hibernator control flow, fault injection with retries, the
+    time-series sampler (``window_s``), and the no-retained-samples
+    percentile path.
+    """
+    return {
+        "golden-base": RunSpec(
+            trace=_golden_trace(),
+            array=_array(),
+            policy=PolicySpec.named("base"),
+            window_s=10.0,
+        ),
+        "golden-hibernator": RunSpec(
+            trace=_golden_trace(),
+            array=_array(),
+            policy=PolicySpec.named("hibernator", epoch_seconds=20.0),
+            goal_s=GOAL_S,
+            window_s=10.0,
+        ),
+        "golden-faults": RunSpec(
+            trace=_golden_trace(),
+            array=_array(),
+            policy=PolicySpec.named("base"),
+            faults=FaultPlan(
+                transient_faults=(
+                    TransientFault(start_s=10.0, end_s=30.0, probability=0.08),
+                ),
+                slow_disk_faults=(
+                    SlowDiskFault(start_s=15.0, end_s=40.0, factor=2.5, disks=(2,)),
+                ),
+            ),
+        ),
+        "golden-nosamples": RunSpec(
+            trace=_golden_trace(),
+            array=_array(),
+            policy=PolicySpec.named("base"),
+            keep_latency_samples=False,
+        ),
+    }

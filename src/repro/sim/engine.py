@@ -1,18 +1,31 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event loop: events are ``(time, sequence, callback)``
-triples kept in a binary heap. The sequence number breaks ties so that
-events scheduled earlier run earlier at equal timestamps, which makes
-every simulation fully deterministic.
+A minimal, fast event loop: the heap holds plain 4-tuples, compared at C
+level on ``(time, seq)`` — the sequence number is unique, so comparison
+never reaches the later elements, and equal-time events run in schedule
+order, which makes every simulation fully deterministic.
 
-Events can be cancelled in O(1) by invalidating their handle; cancelled
-entries are dropped lazily when they surface at the top of the heap.
+Two kinds of entry share the heap:
+
+* ``(time, seq, callback, args)`` — the *fast path*
+  (:meth:`Engine.schedule_fast`): no handle is allocated and the event
+  can never be cancelled. Request arrivals, service completions and
+  sampler ticks — the events that dominate a run — all take this path.
+* ``(time, seq, None, handle)`` — the cancellable path
+  (:meth:`Engine.schedule`): element 2 is ``None`` as the discriminator
+  and the :class:`EventHandle` rides in element 3. Cancellation is O(1)
+  (invalidate the handle); cancelled entries are dropped lazily when
+  they surface at the top of the heap.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable
+
+#: A heap entry: ``(time, seq, callback, args)`` for fast events or
+#: ``(time, seq, None, handle)`` for cancellable ones.
+_Entry = tuple  # noqa: N816 - internal alias
 
 
 class SimulationError(RuntimeError):
@@ -78,7 +91,7 @@ class Engine:
     """
 
     def __init__(self) -> None:
-        self._heap: list[EventHandle] = []
+        self._heap: list[_Entry] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
@@ -104,15 +117,18 @@ class Engine:
         """Schedule ``callback(*args)`` to fire at absolute ``time``.
 
         Returns a handle that can be cancelled with
-        :meth:`EventHandle.cancel`.
+        :meth:`EventHandle.cancel`. Events that are never cancelled
+        should use :meth:`schedule_fast` instead — it skips the handle
+        allocation entirely.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time:.6f} before now={self._now:.6f}"
             )
-        handle = EventHandle(time, self._seq, callback, args, engine=self)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, engine=self)
+        heapq.heappush(self._heap, (time, seq, None, handle))
         self._live += 1
         return handle
 
@@ -121,6 +137,38 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         return self.schedule(self._now + delay, callback, *args)
+
+    def schedule_fast(self, time: float, callback: Callable[..., None],
+                      args: tuple = ()) -> None:
+        """Schedule a **never-cancelled** event at absolute ``time``.
+
+        The hot-path variant of :meth:`schedule`: the event is a bare
+        heap tuple, no :class:`EventHandle` is allocated and *nothing is
+        returned* — by construction the caller cannot cancel it. Use
+        only for events whose firing is unconditional (arrivals, service
+        completions, sampler ticks); anything a policy might want to
+        cancel must go through :meth:`schedule`. The PERF001 lint rule
+        flags call sites that try to use a return value.
+
+        Ordering is identical to :meth:`schedule`: both draw from the
+        same sequence counter, so interleaved fast/cancellable events at
+        equal times still fire in schedule order.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time:.6f} before now={self._now:.6f}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, callback, args))
+        self._live += 1
+
+    def schedule_after_fast(self, delay: float, callback: Callable[..., None],
+                            args: tuple = ()) -> None:
+        """Never-cancelled event ``delay`` seconds from now (fast path)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self.schedule_fast(self._now + delay, callback, args)
 
     def run(
         self,
@@ -153,36 +201,48 @@ class Engine:
         # `max_events` must leave the clock at the last executed event, or
         # the energy-accounting window silently stretches.
         drained = True
+        # Locals for the hot loop: every iteration would otherwise pay
+        # repeated attribute/global lookups for the heap and heappop.
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                entry = heap[0]
+                callback = entry[2]
+                if callback is None and entry[3].cancelled:
+                    heappop(heap)
                     continue
-                if until is not None and head.time > until:
+                if until is not None and entry[0] > until:
                     break
                 if max_events is not None and executed >= max_events:
                     drained = False
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self._live -= 1
-                self._now = head.time
-                head.callback(*head.args)
+                self._now = entry[0]
+                if callback is None:
+                    handle = entry[3]
+                    handle.callback(*handle.args)
+                else:
+                    callback(*entry[3])
                 executed += 1
-                self.events_executed += 1
                 if stop is not None and stop():
                     drained = False
                     break
         finally:
             self._running = False
+            self.events_executed += executed
         if until is not None and drained and self._now < until:
             self._now = until
         return executed
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2] is None and entry[3].cancelled:
+                heapq.heappop(heap)
+                continue
+            return entry[0]
+        return None

@@ -33,7 +33,7 @@ class RequestClass(enum.Enum):
     MIGRATION = "migration"
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """A logical array-level I/O request.
 
@@ -80,7 +80,7 @@ class Request:
         return self.klass is RequestClass.MIGRATION
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskOp:
     """A physical operation queued at one disk on behalf of a request.
 

@@ -24,9 +24,9 @@ from repro.obs.events import RequestFailed, RunEnd, RunStart, TraceEvent
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracelog import TraceLog
 from repro.sim.engine import Engine
-from repro.sim.request import Request
+from repro.sim.request import IoKind, Request
 from repro.sim.stats import DeficitTracker, LatencyRecorder, WindowAverage
-from repro.traces.model import Trace
+from repro.traces.model import _KIND_READ, Trace
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.policies.base import PowerPolicy
@@ -133,9 +133,30 @@ class ArraySimulation:
         faults: FaultPlan | None = None,
     ) -> None:
         self.trace = trace
+        # Column pre-extraction: replaying through Trace.__getitem__ costs
+        # a TraceRequest allocation plus five numpy-scalar boxings per
+        # request. Plain Python lists with pre-decoded IoKind values make
+        # _arrive allocation-free apart from the Request itself. tolist()
+        # yields native floats/ints, so values are bit-identical to the
+        # float()/int() conversions __getitem__ performs.
+        self._times: list[float] = trace.times.tolist()
+        _read, _write = IoKind.READ, IoKind.WRITE
+        self._kinds: list[IoKind] = [
+            _read if k == _KIND_READ else _write for k in trace.kinds.tolist()
+        ]
+        self._extents: list[int] = trace.extents.tolist()
+        self._offsets: list[int] = trace.offsets.tolist()
+        self._sizes: list[int] = trace.sizes.tolist()
+        self._trace_len = len(trace)
         self.engine = Engine()
         self.array = DiskArray(self.engine, array_config)
         self.policy = policy
+        # Pre-bound hot callables: _arrive/_complete run once per request
+        # and the attribute chains (self.policy.on_request_arrival etc.)
+        # cost a dict lookup plus a bound-method build per call.
+        self._on_arrival = policy.on_request_arrival
+        self._on_completion = policy.on_request_complete
+        self._array_submit = self.array.submit
         self.goal_s = goal_s
         self.metrics = MetricsRegistry()
         self.obs_log: TraceLog | None = TraceLog() if observe else None
@@ -164,26 +185,27 @@ class ArraySimulation:
     # -- arrival plumbing ----------------------------------------------------
 
     def _schedule_next_arrival(self) -> None:
-        if self._next_index >= len(self.trace):
-            return
-        t = float(self.trace.times[self._next_index])
-        self.engine.schedule(t, self._arrive)
+        i = self._next_index
+        if i < self._trace_len:
+            # Arrivals are never cancelled: tuple fast path.
+            self.engine.schedule_fast(self._times[i], self._arrive)
 
     def _arrive(self) -> None:
         i = self._next_index
-        self._next_index += 1
-        tr = self.trace[i]
+        self._next_index = i + 1
+        # arrival is the scheduled time, which is exactly engine.now when
+        # this callback fires — reading the column skips the property hop.
         request = Request(
             req_id=i,
-            arrival=self.engine.now,
-            kind=tr.kind,
-            extent=tr.extent,
-            offset=tr.offset,
-            size=tr.size,
+            arrival=self._times[i],
+            kind=self._kinds[i],
+            extent=self._extents[i],
+            offset=self._offsets[i],
+            size=self._sizes[i],
         )
         self._outstanding += 1
-        self.policy.on_request_arrival(request)
-        self.array.submit(request, self._complete)
+        self._on_arrival(request)
+        self._array_submit(request, self._complete)
         self._schedule_next_arrival()
 
     def _complete(self, request: Request) -> None:
@@ -200,7 +222,7 @@ class ArraySimulation:
             # No latency to record, but the policy must still see the
             # completion (request.failed is set) or outstanding-request
             # accounting leaks on degraded-mode runs.
-            self.policy.on_request_complete(request)
+            self._on_completion(request)
             return
         latency = request.latency
         self.latency.add(latency)
@@ -208,7 +230,7 @@ class ArraySimulation:
             self.deficit.add(latency)
         if self._latency_windows is not None:
             self._latency_windows.add(self.engine.now, latency)
-        self.policy.on_request_complete(request)
+        self._on_completion(request)
 
     def _sample_speeds(self) -> None:
         speeds = self.array.speeds()
@@ -217,12 +239,28 @@ class ArraySimulation:
         self._speed_samples.append((self.engine.now, mean_rpm, spinning))
         watts = sum(d.meter.watts for d in self.array.disks)
         self._power_samples.append((self.engine.now, watts))
-        if self._next_index < len(self.trace) or self._outstanding > 0:
+        if self._next_index < self._trace_len or self._outstanding > 0:
             assert self._window_s is not None
-            self.engine.schedule_after(self._window_s, self._sample_speeds)
+            self.engine.schedule_after_fast(self._window_s, self._sample_speeds)
+
+    def _emit_terminal_sample(self, end: float) -> None:
+        """Close the speed/power time series with a sample at ``end``.
+
+        The periodic sampler stops rescheduling once the workload drains,
+        so without this the series would end one window early and
+        timelines would not cover the full energy-accounting window.
+        """
+        if self._speed_samples and self._speed_samples[-1][0] >= end:
+            return
+        speeds = self.array.speeds()
+        mean_rpm = sum(speeds) / len(speeds)
+        spinning = sum(1 for s in speeds if s > 0)
+        self._speed_samples.append((end, mean_rpm, spinning))
+        watts = sum(d.meter.watts for d in self.array.disks)
+        self._power_samples.append((end, watts))
 
     def _drained(self) -> bool:
-        return self._next_index >= len(self.trace) and self._outstanding == 0
+        return self._next_index >= self._trace_len and self._outstanding == 0
 
     # -- main entry -----------------------------------------------------------
 
@@ -253,7 +291,7 @@ class ArraySimulation:
             ))
         self._schedule_next_arrival()
         if self._window_s is not None:
-            self.engine.schedule(0.0, self._sample_speeds)
+            self.engine.schedule_fast(0.0, self._sample_speeds)
         # Stop as soon as every foreground request has completed:
         # lingering periodic timers (epoch boundaries, idle timers,
         # samplers) must not stretch the energy-accounting window.
@@ -275,8 +313,16 @@ class ArraySimulation:
             breakdown.merge(disk.meter.breakdown)
             spinups += disk.spinups
             speed_changes += disk.speed_changes
+        if self._window_s is not None:
+            self._emit_terminal_sample(end)
         windows = self._latency_windows.finish(end) if self._latency_windows else []
         has_latency = self.latency.n > 0
+        # Percentiles need retained samples; when they are unavailable
+        # (keep_latency_samples=False, or no successful request produced
+        # one) report NaN — 0.0 would be indistinguishable from a genuine
+        # zero-latency percentile. JSON exports render NaN as null.
+        can_percentile = has_latency and self.latency.keep_samples
+        nan = float("nan")
         extras = dict(self.policy.extras())
         # Run instrumentation, via the registry. runtime_events is
         # deterministic (a pure function of the spec); the wall-clock
@@ -327,8 +373,8 @@ class ArraySimulation:
             energy_joules=energy,
             breakdown=breakdown,
             mean_response_s=self.latency.mean if has_latency else 0.0,
-            p95_response_s=self.latency.percentile(95) if has_latency and self.latency.keep_samples else 0.0,
-            p99_response_s=self.latency.percentile(99) if has_latency and self.latency.keep_samples else 0.0,
+            p95_response_s=self.latency.percentile(95) if can_percentile else nan,
+            p99_response_s=self.latency.percentile(99) if can_percentile else nan,
             max_response_s=self.latency.stats.max if has_latency else 0.0,
             goal_s=self.goal_s,
             cumulative_avg_vs_goal=(

@@ -58,8 +58,22 @@ class Trace:
         ):
             if len(arr) != n:
                 raise ValueError(f"column {label} has {len(arr)} rows, expected {n}")
-        if n and np.any(np.diff(times) < 0):
-            raise ValueError("trace times must be non-decreasing")
+        # Validate arrival times here, with the offending index, instead
+        # of letting a bad trace surface mid-replay as a cryptic
+        # SimulationError from Engine.schedule.
+        if n:
+            backwards = np.diff(times) < 0
+            if backwards.any():
+                i = int(np.argmax(backwards)) + 1
+                raise ValueError(
+                    f"trace times must be non-decreasing: times[{i}]="
+                    f"{float(times[i]):g} after times[{i - 1}]={float(times[i - 1]):g}"
+                )
+            if float(times[0]) < 0.0:
+                i = int(np.argmin(times))
+                raise ValueError(
+                    f"trace times must be non-negative: times[{i}]={float(times[i]):g}"
+                )
         if n and (extents.min() < 0 or extents.max() >= num_extents):
             raise ValueError("trace addresses an extent outside the volume")
         self.name = name

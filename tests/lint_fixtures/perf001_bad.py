@@ -1,0 +1,14 @@
+"""Fixture: PERF001 violations (using a fast-schedule return value)."""
+
+
+def keep_handle(engine, cb):
+    handle = engine.schedule_fast(1.0, cb)  # PERF001
+    return handle
+
+
+def return_it(engine, cb):
+    return engine.schedule_after_fast(0.5, cb)  # PERF001
+
+
+def pass_it_on(engine, timers, cb):
+    timers.append(engine.schedule_fast(2.0, cb))  # PERF001

@@ -1,0 +1,12 @@
+"""Fixture: compliant fast-path scheduling (result discarded) and
+handle-keeping via the cancellable API."""
+
+
+def fire_and_forget(engine, cb, op):
+    engine.schedule_fast(1.0, cb, (op,))
+    engine.schedule_after_fast(0.5, cb)
+
+
+def cancellable(engine, cb):
+    handle = engine.schedule(1.0, cb)
+    return handle

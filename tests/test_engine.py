@@ -218,3 +218,86 @@ def test_run_returns_executed_count(engine):
     for i in range(4):
         engine.schedule(float(i), lambda: None)
     assert engine.run() == 4
+
+
+# -- tuple fast path (schedule_fast / schedule_after_fast) -------------------
+
+
+def test_fast_events_fire_in_time_order(engine):
+    order = []
+    engine.schedule_fast(3.0, order.append, ("c",))
+    engine.schedule_fast(1.0, order.append, ("a",))
+    engine.schedule_fast(2.0, order.append, ("b",))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fast_returns_nothing(engine):
+    assert engine.schedule_fast(1.0, lambda: None) is None
+    assert engine.schedule_after_fast(1.0, lambda: None) is None
+
+
+def test_fast_and_cancellable_interleave_in_schedule_order(engine):
+    """Mixed entry kinds at one timestamp share the sequence counter, so
+    they fire strictly in schedule order (and never compare a handle
+    against a callback tuple)."""
+    order = []
+    engine.schedule(5.0, order.append, "cancellable-1")
+    engine.schedule_fast(5.0, order.append, ("fast-1",))
+    engine.schedule(5.0, order.append, "cancellable-2")
+    engine.schedule_fast(5.0, order.append, ("fast-2",))
+    engine.run()
+    assert order == ["cancellable-1", "fast-1", "cancellable-2", "fast-2"]
+
+
+def test_cancelled_handle_among_fast_events(engine):
+    order = []
+    engine.schedule_fast(1.0, order.append, ("a",))
+    doomed = engine.schedule(1.0, order.append, "doomed")
+    engine.schedule_fast(1.0, order.append, ("b",))
+    doomed.cancel()
+    engine.run()
+    assert order == ["a", "b"]
+
+
+def test_fast_schedule_in_past_raises(engine):
+    engine.schedule_fast(2.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_fast(1.0, lambda: None)
+
+
+def test_fast_schedule_after_negative_delay_raises(engine):
+    with pytest.raises(SimulationError):
+        engine.schedule_after_fast(-0.1, lambda: None)
+
+
+def test_fast_schedule_after_uses_current_time(engine):
+    fired = []
+    engine.schedule(2.0, lambda: engine.schedule_after_fast(1.5, lambda: fired.append(engine.now)))
+    engine.run()
+    assert fired == [3.5]
+
+
+def test_pending_events_counts_fast_entries(engine):
+    engine.schedule_fast(1.0, lambda: None)
+    handle = engine.schedule(2.0, lambda: None)
+    assert engine.pending_events == 2
+    handle.cancel()
+    assert engine.pending_events == 1
+    engine.run()
+    assert engine.pending_events == 0
+
+
+def test_peek_time_sees_fast_entries_past_cancelled(engine):
+    doomed = engine.schedule(1.0, lambda: None)
+    engine.schedule_fast(2.0, lambda: None)
+    doomed.cancel()
+    assert engine.peek_time() == 2.0
+
+
+def test_fast_events_pass_args_tuple(engine):
+    seen = []
+    engine.schedule_fast(1.0, lambda a, b: seen.append((a, b)), (1, 2))
+    engine.run()
+    assert seen == [(1, 2)]

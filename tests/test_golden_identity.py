@@ -1,0 +1,66 @@
+"""Byte-identity pins for the golden scenarios.
+
+``tests/golden/golden_results.json`` records the result digest of each
+golden run at the current ``CODE_VERSION``. These tests recompute the
+digests — serially and through the multiprocess executor — and require
+exact equality, which is what lets performance work touch the hot path
+with confidence: any change to a metric, a float operation order, an RNG
+draw, or an event ordering shows up here as a digest mismatch.
+
+Regenerating the pins (``repro perf --write-golden``) is only legitimate
+when a change *intends* to alter results, in which case ``CODE_VERSION``
+must be bumped too (the CACHE002 guard enforces that coupling).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache import CODE_VERSION
+from repro.analysis.parallel import execute, run_spec
+from repro.perf.digest import DIGEST_VERSION, result_digest
+from repro.perf.scenarios import golden_specs
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_results.json"
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_pin_file_matches_current_versions(pinned):
+    assert pinned["code_version"] == CODE_VERSION, (
+        "CODE_VERSION changed without regenerating the golden pins; run "
+        "`repro perf --write-golden tests/golden/golden_results.json`"
+    )
+    assert pinned["digest_version"] == DIGEST_VERSION
+
+
+def test_pin_file_covers_every_golden_spec(pinned):
+    assert sorted(pinned["digests"]) == sorted(golden_specs())
+
+
+def test_golden_results_are_byte_identical_serial(pinned):
+    specs = golden_specs()
+    for name in sorted(specs):
+        digest = result_digest(run_spec(specs[name]))
+        assert digest == pinned["digests"][name], (
+            f"{name}: result digest drifted — the simulator's output "
+            "changed. If intentional, bump CODE_VERSION and regenerate "
+            "the pins; if not, this is a correctness regression."
+        )
+
+
+def test_golden_results_are_byte_identical_parallel(pinned):
+    """jobs=2 must reproduce the same bytes as jobs=1 (and the pins)."""
+    specs = golden_specs()
+    names = sorted(specs)
+    results = execute([specs[n] for n in names], jobs=2)
+    for name, result in zip(names, results):
+        assert result_digest(result) == pinned["digests"][name], (
+            f"{name}: parallel execution produced different bytes"
+        )

@@ -122,7 +122,7 @@ class TestReporters:
         rules = all_rules()
         for rule_id in ("DET001", "DET002", "DET003", "DET004", "UNIT001",
                         "UNIT002", "CACHE001", "CACHE002", "OBS001", "OBS002",
-                        "LINT000", "LINT999"):
+                        "PERF001", "LINT000", "LINT999"):
             assert rule_id in rules
             assert rules[rule_id].description
 
@@ -256,6 +256,8 @@ def test_tree_is_lint_clean():
 
 
 def test_code_version_was_bumped_for_this_change():
-    """This PR adds fault injection and retry semantics; the bump must
-    be in place so pre-fault cached results become unreachable."""
-    assert CODE_VERSION == "2026.08-4"
+    """This PR changes result payloads (terminal time-series sample,
+    NaN percentiles when samples are not kept); the bump must be in
+    place so cached results from the old accounting become
+    unreachable."""
+    assert CODE_VERSION == "2026.08-5"

@@ -19,7 +19,7 @@ from repro.lint import lint
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 
 RULES = ["DET001", "DET002", "DET003", "DET004",
-         "UNIT001", "UNIT002", "CACHE001", "OBS001", "OBS002"]
+         "UNIT001", "UNIT002", "CACHE001", "OBS001", "OBS002", "PERF001"]
 
 
 def _findings(filename: str, rule_id: str):
@@ -50,6 +50,7 @@ def test_expected_bad_fixture_counts():
     expected = {
         "DET001": 3, "DET002": 2, "DET003": 3, "DET004": 3,
         "UNIT001": 3, "UNIT002": 3, "CACHE001": 1, "OBS001": 1, "OBS002": 2,
+        "PERF001": 3,
     }
     for rule_id, count in expected.items():
         result = _findings(f"{rule_id.lower()}_bad.py", rule_id)

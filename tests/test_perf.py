@@ -1,0 +1,181 @@
+"""Tests for the perf harness: scenario selection, BENCH documents,
+baseline discovery and the regression comparison."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.analysis.parallel import run_spec
+from repro.perf.digest import result_digest, strip_runtime
+from repro.perf.harness import (
+    BENCH_PREFIX,
+    BENCH_SCHEMA_VERSION,
+    compare_benchmarks,
+    find_baseline,
+    load_bench,
+    run_benchmark,
+    write_bench,
+)
+from repro.perf.scenarios import PERF_SCENARIOS, golden_specs, select_scenarios
+
+
+class TestScenarios:
+    def test_names_are_unique(self):
+        names = [s.name for s in PERF_SCENARIOS]
+        assert len(names) == len(set(names))
+
+    def test_select_all_by_default(self):
+        assert select_scenarios() == PERF_SCENARIOS
+
+    def test_select_quick_subset(self):
+        quick = select_scenarios(quick=True)
+        assert quick and all(s.quick for s in quick)
+        assert len(quick) < len(PERF_SCENARIOS)
+
+    def test_select_by_name_preserves_request_order(self):
+        picked = select_scenarios(["cello-base", "synth-base"])
+        assert [s.name for s in picked] == ["cello-base", "synth-base"]
+
+    def test_select_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            select_scenarios(["no-such-scenario"])
+
+    def test_specs_are_fresh_objects(self):
+        scenario = PERF_SCENARIOS[0]
+        assert scenario.spec() is not scenario.spec()
+
+    def test_golden_specs_have_stable_names(self):
+        assert sorted(golden_specs()) == [
+            "golden-base", "golden-faults", "golden-hibernator", "golden-nosamples",
+        ]
+
+
+class TestDigest:
+    def test_strip_runtime_removes_only_runtime_keys(self):
+        result = run_spec(golden_specs()["golden-nosamples"])
+        stripped = strip_runtime(result)
+        assert not any(k.startswith("runtime_") for k in stripped.extras)
+        kept = {k for k in result.extras if not k.startswith("runtime_")}
+        assert set(stripped.extras) == kept
+
+    def test_digest_ignores_wall_clock_extras(self):
+        result = run_spec(golden_specs()["golden-nosamples"])
+        jittered = dataclasses.replace(
+            result, extras={**result.extras, "runtime_wall_s": 123.0}
+        )
+        assert result_digest(jittered) == result_digest(result)
+
+    def test_digest_sees_real_metric_changes(self):
+        result = run_spec(golden_specs()["golden-nosamples"])
+        changed = dataclasses.replace(result, energy_joules=result.energy_joules + 1.0)
+        assert result_digest(changed) != result_digest(result)
+
+
+def _bench_doc(**rates: float) -> dict:
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "generated_at": "2026-08-05T00:00:00+00:00",
+        "scenarios": {
+            name: {"events": 1000, "requests": 500, "wall_s": 1.0,
+                   "events_per_s": rate, "requests_per_s": rate / 2.0,
+                   "digest": "d"}
+            for name, rate in rates.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_no_regression_at_equal_rates(self):
+        lines, regressions = compare_benchmarks(_bench_doc(a=100.0), _bench_doc(a=100.0))
+        assert regressions == []
+        assert any("1.00x" in line for line in lines)
+
+    def test_regression_below_threshold(self):
+        _, regressions = compare_benchmarks(
+            _bench_doc(a=80.0), _bench_doc(a=100.0), threshold=0.9
+        )
+        assert regressions == ["a"]
+
+    def test_threshold_is_configurable(self):
+        _, regressions = compare_benchmarks(
+            _bench_doc(a=80.0), _bench_doc(a=100.0), threshold=0.75
+        )
+        assert regressions == []
+
+    def test_new_and_dropped_scenarios_are_reported_not_failed(self):
+        lines, regressions = compare_benchmarks(
+            _bench_doc(new=50.0), _bench_doc(old=100.0)
+        )
+        assert regressions == []
+        text = "\n".join(lines)
+        assert "new scenario" in text and "baseline only" in text
+
+    def test_bad_threshold_raises(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_benchmarks(_bench_doc(a=1.0), _bench_doc(a=1.0), threshold=0.0)
+
+
+class TestBenchFiles:
+    def test_write_load_roundtrip(self, tmp_path):
+        doc = _bench_doc(a=100.0)
+        path = tmp_path / "BENCH_roundtrip.json"
+        write_bench(doc, path)
+        assert load_bench(path) == doc
+
+    def test_load_rejects_non_bench_json(self, tmp_path):
+        path = tmp_path / "BENCH_bogus.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="not a BENCH document"):
+            load_bench(path)
+
+    def test_find_baseline_picks_newest_generated_at(self, tmp_path):
+        older = _bench_doc(a=1.0)
+        older["generated_at"] = "2026-08-01T00:00:00+00:00"
+        newer = _bench_doc(a=2.0)
+        newer["generated_at"] = "2026-08-04T00:00:00+00:00"
+        write_bench(older, tmp_path / f"{BENCH_PREFIX}2026-08-01.json")
+        write_bench(newer, tmp_path / f"{BENCH_PREFIX}2026-08-04.json")
+        assert find_baseline(tmp_path) == tmp_path / f"{BENCH_PREFIX}2026-08-04.json"
+
+    def test_find_baseline_excludes_output_path(self, tmp_path):
+        doc = _bench_doc(a=1.0)
+        out = tmp_path / f"{BENCH_PREFIX}today.json"
+        write_bench(doc, out)
+        assert find_baseline(tmp_path, exclude=out) is None
+
+    def test_find_baseline_skips_corrupt_files(self, tmp_path):
+        (tmp_path / f"{BENCH_PREFIX}broken.json").write_text("{not json")
+        good = _bench_doc(a=1.0)
+        write_bench(good, tmp_path / f"{BENCH_PREFIX}good.json")
+        assert find_baseline(tmp_path) == tmp_path / f"{BENCH_PREFIX}good.json"
+
+    def test_find_baseline_empty_dir(self, tmp_path):
+        assert find_baseline(tmp_path) is None
+
+
+class TestRunBenchmark:
+    def test_benchmark_records_throughput_and_digest(self):
+        # One tiny scenario, one repeat: this is a schema test, not a
+        # performance test.
+        scenario = select_scenarios(["synth-base"])[0]
+        doc = run_benchmark((scenario,), repeats=1)
+        assert doc["schema"] == BENCH_SCHEMA_VERSION
+        assert doc["repeats"] == 1
+        record = doc["scenarios"]["synth-base"]
+        assert record["events"] > 0
+        assert record["requests"] > 0
+        assert record["wall_s"] > 0
+        assert math.isclose(
+            record["events_per_s"], record["events"] / record["wall_s"]
+        )
+        assert len(record["digest"]) == 64
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_benchmark_rejects_bad_repeats(self):
+        scenario = select_scenarios(["synth-base"])[0]
+        with pytest.raises(ValueError, match="repeats"):
+            run_benchmark((scenario,), repeats=0)

@@ -37,7 +37,9 @@ MODULES = [
     "repro.lint.registry", "repro.lint.engine", "repro.lint.reporters",
     "repro.lint.guard", "repro.lint.rules", "repro.lint.rules.determinism",
     "repro.lint.rules.units", "repro.lint.rules.cachekey",
-    "repro.lint.rules.obspairing",
+    "repro.lint.rules.obspairing", "repro.lint.rules.perf",
+    "repro.perf", "repro.perf.scenarios", "repro.perf.harness",
+    "repro.perf.digest", "repro.perf.profiling",
     "repro.cli",
 ]
 

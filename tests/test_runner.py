@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+import math
+
 import pytest
 
 from repro.policies.always_on import AlwaysOnPolicy
@@ -86,13 +89,60 @@ def test_speed_samples_collected(small_config):
         assert spinning == 4
 
 
+def test_time_series_cover_the_accounting_window(small_config):
+    """Regression: the sampler stops rescheduling at drain, so a final
+    sample at ``sim_end`` must be emitted explicitly or the speed/power
+    timelines end one window before the energy accounting does."""
+    trace = poisson_trace(rate=20.0, duration=50.0, seed=31)
+    result = ArraySimulation(
+        trace, small_config, AlwaysOnPolicy(), window_s=10.0
+    ).run()
+    assert result.speed_samples[-1][0] == result.sim_end
+    assert result.power_samples[-1][0] == result.sim_end
+    assert len(result.speed_samples) == len(result.power_samples)
+    # Samples stay time-ordered and within the window.
+    times = [t for t, _, _ in result.speed_samples]
+    assert times == sorted(times)
+    assert times[-1] <= result.sim_end
+
+
+def test_terminal_sample_not_duplicated_on_empty_trace(small_config):
+    from repro.traces.model import TraceBuilder
+
+    trace = TraceBuilder("empty", small_config.num_extents).build()
+    result = ArraySimulation(
+        trace, small_config, AlwaysOnPolicy(), window_s=10.0
+    ).run()
+    # One sample at t=0 from the initial sampler tick; sim_end is 0.0 so
+    # no extra terminal sample may be appended on top of it.
+    assert result.sim_end == 0.0
+    assert len(result.speed_samples) == 1
+
+
 def test_keep_latency_samples_false(small_config):
     trace = poisson_trace(rate=20.0, duration=20.0, seed=32)
     result = ArraySimulation(
         trace, small_config, AlwaysOnPolicy(), keep_latency_samples=False
     ).run()
     assert result.mean_response_s > 0
-    assert result.p95_response_s == 0.0  # percentiles unavailable
+    # Percentiles are unavailable without retained samples; they must be
+    # NaN, not a 0.0 that reads like a real (impossibly good) percentile.
+    assert math.isnan(result.p95_response_s)
+    assert math.isnan(result.p99_response_s)
+
+
+def test_unavailable_percentiles_export_as_null(small_config):
+    from repro.analysis.export import result_to_dict
+
+    trace = poisson_trace(rate=20.0, duration=10.0, seed=32)
+    result = ArraySimulation(
+        trace, small_config, AlwaysOnPolicy(), keep_latency_samples=False
+    ).run()
+    exported = result_to_dict(result)
+    assert exported["p95_response_s"] is None
+    assert exported["p99_response_s"] is None
+    # The whole payload must stay strictly JSON-encodable.
+    json.dumps(exported, allow_nan=False)
 
 
 def test_percentiles_ordered(small_config):

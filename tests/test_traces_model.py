@@ -40,6 +40,33 @@ def test_trace_rejects_unsorted_times():
         )
 
 
+def test_trace_unsorted_error_names_offending_index():
+    """Regression: a bad trace used to surface mid-replay as a deep
+    `SimulationError: cannot schedule event ... before now`; validation
+    happens at construction and names the first offending index."""
+    with pytest.raises(ValueError, match=r"times\[2\]=1 after times\[1\]=3"):
+        trace_from_columns(
+            "t", 10,
+            times=np.array([0.0, 3.0, 1.0, 4.0]),
+            read_mask=np.array([True] * 4),
+            extents=np.array([0, 1, 2, 3]),
+            sizes=np.array([4096] * 4),
+        )
+
+
+def test_trace_rejects_negative_times():
+    """Negative arrivals would otherwise blow up inside Engine.schedule
+    (events cannot be scheduled before t=0)."""
+    with pytest.raises(ValueError, match=r"non-negative.*times\[0\]=-2"):
+        trace_from_columns(
+            "t", 10,
+            times=np.array([-2.0, 1.0]),
+            read_mask=np.array([True, True]),
+            extents=np.array([0, 1]),
+            sizes=np.array([4096, 4096]),
+        )
+
+
 def test_trace_rejects_extent_out_of_range():
     with pytest.raises(ValueError):
         trace_from_columns(
