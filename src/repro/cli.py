@@ -12,6 +12,12 @@ Drive the library without writing Python::
     python -m repro sweep-slack --trace oltp.csv --slacks 1.5,2,3
     python -m repro cache --cache-dir .repro-cache --clear
 
+Fleet-scale simulation (see docs/fleet.md)::
+
+    python -m repro fleet run --arrays 8 --policy hibernator --jobs 4
+    python -m repro fleet run --arrays 4 --partitioner stripe --json
+    python -m repro fleet compare --arrays 4 --policies base,hibernator
+
 Traces can come from a file (``--trace``) or be generated inline with
 the same knobs as ``gen-trace``. All commands print plain-text tables.
 """
@@ -37,6 +43,7 @@ from repro.policies.maid import MaidConfig, MaidPolicy, maid_array_config
 from repro.policies.oracle import OraclePolicy
 from repro.policies.pdc import PdcConfig, PdcPolicy
 from repro.policies.tpm import TpmConfig, TpmPolicy
+from repro.fleet.spec import PARTITIONER_NAMES
 from repro.sim.runner import SimulationResult
 from repro.traces.cello import CelloConfig, generate_cello
 from repro.traces.io import load_trace, save_trace
@@ -334,6 +341,144 @@ def cmd_sweep_slack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_trace_spec(args: argparse.Namespace):
+    """Fleet workload as a picklable TraceSpec.
+
+    Splitting partitioners address the *global* extent space
+    (``--arrays`` x ``--extents``); ``replicate`` keeps the per-array
+    space because each array regenerates the recipe with its own seed.
+    """
+    from repro.analysis.parallel import TraceSpec
+
+    if args.trace:
+        return TraceSpec.from_file(args.trace)
+    if args.partitioner == "replicate":
+        extents = args.extents
+    else:
+        extents = args.arrays * args.extents
+    if args.kind == "oltp":
+        config = OltpConfig(duration=args.duration, rate=args.rate,
+                            num_extents=extents, seed=args.seed)
+    elif args.kind == "cello":
+        config = CelloConfig(days=max(args.duration / 86400.0, 1e-6),
+                             day_rate=args.rate, night_rate=args.rate / 20.0,
+                             num_extents=extents, seed=args.seed)
+    else:
+        config = SyntheticConfig(duration=args.duration, rate=args.rate,
+                                 num_extents=extents, seed=args.seed)
+    return TraceSpec.from_generator(args.kind, config)
+
+
+def _fleet_policy_spec(name: str, args: argparse.Namespace):
+    from repro.analysis.parallel import PolicySpec
+
+    if name == "hibernator":
+        return PolicySpec.named("hibernator", epoch_seconds=args.epoch)
+    if name == "pdc":
+        return PolicySpec.named("pdc", period_s=args.epoch)
+    if name == "oracle":
+        return PolicySpec.named("oracle", epoch_seconds=args.epoch)
+    return PolicySpec.named(name)
+
+
+def _build_fleet(args: argparse.Namespace, policy_name: str):
+    from repro.fleet import FleetSpec, load_fleet_fault_plan
+
+    faults = None
+    if getattr(args, "fleet_faults", None):
+        faults = load_fleet_fault_plan(args.fleet_faults)
+    return FleetSpec(
+        num_arrays=args.arrays,
+        trace=_fleet_trace_spec(args),
+        array=_array_config(args, args.extents),
+        policy=_fleet_policy_spec(policy_name, args),
+        partitioner=args.partitioner,
+        goal_s=args.goal_ms / 1e3 if args.goal_ms is not None else None,
+        observe=bool(getattr(args, "trace_out", None)),
+        faults=faults,
+        seed=args.fleet_seed,
+    )
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.fleet import FleetResult, fleet_to_dict, run_fleet
+
+    fleet = _build_fleet(args, args.policy)
+    cache = _make_cache(args)
+    start = time.perf_counter()
+    result = run_fleet(fleet, jobs=args.jobs, cache=cache)
+    wall = time.perf_counter() - start
+    if args.trace_out:
+        events = list(result.events)
+        for shard in result.results:
+            events.extend(shard.events)
+        _write_trace_out(events, args.trace_out)
+    if args.json:
+        from repro.analysis.export import write_json
+
+        write_json(fleet_to_dict(result), sys.stdout)
+        print()
+    else:
+        print(format_table(
+            FleetResult.HEADERS, result.rows(),
+            title=f"{result.trace_name}: {result.policy_name} fleet, per array",
+        ))
+        print()
+        pairs = result.summary_pairs()
+        pairs.extend((key, f"{value:g}") for key, value in sorted(result.extras.items()))
+        pairs.append(("simulated in", f"{wall:.2f} s wall ({args.jobs} job(s))"))
+        print(format_kv(f"== fleet: {result.policy_name} on {result.trace_name} ==",
+                        pairs))
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+              f"{stats['stores']} stored, {stats['entries']} entr(ies) on disk")
+    return 0
+
+
+def cmd_fleet_compare(args: argparse.Namespace) -> int:
+    from repro.fleet import run_fleet
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    unknown = sorted(set(policies) - set(POLICY_NAMES))
+    if unknown:
+        print(f"repro fleet compare: unknown policy(ies) {unknown}; "
+              f"known: {sorted(POLICY_NAMES)}", file=sys.stderr)
+        return 2
+    cache = _make_cache(args)
+    results = [run_fleet(_build_fleet(args, name), jobs=args.jobs, cache=cache)
+               for name in policies]
+    base = results[policies.index("base")] if "base" in policies else None
+    rows = []
+    for result in results:
+        savings = "-"
+        if base is not None and result is not base:
+            savings = f"{100.0 * result.energy_savings_vs(base):.1f}"
+        rows.append((
+            result.policy_name,
+            f"{result.energy_joules / 1e3:.1f}",
+            savings,
+            f"{result.mean_response_s * 1e3:.2f}",
+            f"{100.0 * result.availability:.3f}",
+            str(result.spinups),
+            str(result.failed_requests),
+        ))
+    print(format_table(
+        ("policy", "energy kJ", "savings %", "mean ms", "avail %",
+         "spinups", "failed"),
+        rows,
+        title=f"fleet comparison: {args.arrays} array(s), "
+              f"partitioner={args.partitioner}",
+    ))
+    if cache is not None:
+        stats = cache.stats()
+        print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+              f"{stats['stores']} stored, {stats['entries']} entr(ies) on disk")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.summary import render_runs
     from repro.obs.tracelog import read_jsonl, split_runs
@@ -551,6 +696,58 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_options(p)
     _add_trace_out(p)
     p.set_defaults(func=cmd_sweep_slack)
+
+    p = sub.add_parser(
+        "fleet",
+        help="fleet-scale simulation: N arrays as one system",
+        description="Simulate a fleet of arrays sharing one workload "
+                    "(see docs/fleet.md): the trace is partitioned (or "
+                    "replicated) across arrays, per-array simulations fan "
+                    "out over --jobs processes, and the merged report "
+                    "covers energy, response and availability. Results are "
+                    "byte-identical for any --jobs value.",
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    def _add_fleet_options(fp: argparse.ArgumentParser) -> None:
+        _add_trace_source(fp)
+        _add_array_options(fp)
+        fp.add_argument("--arrays", type=_positive_int, default=4,
+                        help="fleet width (default 4)")
+        fp.add_argument("--partitioner", choices=PARTITIONER_NAMES,
+                        default="block",
+                        help="workload split: block = contiguous extent "
+                             "ranges, stripe = round-robin interleave, "
+                             "replicate = per-array regeneration with "
+                             "spawned seeds (default block). --extents is "
+                             "per array; block/stripe address the global "
+                             "space arrays*extents")
+        fp.add_argument("--goal-ms", type=float, default=None,
+                        help="per-array mean response-time goal in ms")
+        fp.add_argument("--epoch", type=float, default=600.0,
+                        help="epoch/period seconds for epoch-based policies")
+        fp.add_argument("--fleet-seed", type=int, default=0,
+                        help="fleet seed; per-array streams are spawned "
+                             "from it (default 0)")
+        fp.add_argument("--fleet-faults",
+                        help="JSON fleet fault plan (see docs/fleet.md): "
+                             "common faults, per-array plans, correlated "
+                             "batch failures")
+        _add_parallel_options(fp)
+        _add_trace_out(fp)
+
+    fp = fleet_sub.add_parser("run", help="run one policy across the fleet")
+    _add_fleet_options(fp)
+    fp.add_argument("--policy", choices=POLICY_NAMES, default="hibernator")
+    fp.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    fp.set_defaults(func=cmd_fleet_run)
+
+    fp = fleet_sub.add_parser("compare",
+                              help="run several policies across the same fleet")
+    _add_fleet_options(fp)
+    fp.add_argument("--policies", default="base,hibernator",
+                    help="comma-separated policy list (default base,hibernator)")
+    fp.set_defaults(func=cmd_fleet_compare)
 
     p = sub.add_parser("trace", help="render a structured event trace (JSONL)")
     p.add_argument("trace_file", help="JSONL file written via --trace-out")

@@ -1,0 +1,56 @@
+"""Fleet-scale simulation: N arrays as one system.
+
+The package turns the single-array simulator into a fleet simulator by
+composition, not duplication:
+
+* :mod:`repro.fleet.spec` — :class:`FleetSpec`, the picklable,
+  content-hashable fleet recipe, and its expansion into per-array
+  :class:`~repro.analysis.parallel.RunSpec` shards;
+* :mod:`repro.fleet.partition` — workload partitioners splitting one
+  global trace into per-array shards (``block``/``stripe``) or
+  replicating a generator recipe with spawned seeds (``replicate``);
+* :mod:`repro.fleet.faults` — :class:`FleetFaultPlan`, including
+  correlated batch failures hitting many arrays in a window;
+* :mod:`repro.fleet.executor` — :func:`run_fleet`, fanning shards over
+  the deterministic parallel executor and merging the results;
+* :mod:`repro.fleet.result` — :class:`FleetResult`, the merged
+  energy/response/availability report plus per-array tables.
+
+Determinism contract (see ``docs/fleet.md``): for a given
+:class:`FleetSpec`, :func:`run_fleet` returns byte-identical contents
+for every ``jobs=`` value, with or without a result cache.
+"""
+
+from repro.fleet.executor import run_fleet, trace_label
+from repro.fleet.faults import (
+    CorrelatedFailure,
+    FleetFaultPlan,
+    fleet_fault_plan_from_dict,
+    fleet_fault_plan_to_dict,
+    load_fleet_fault_plan,
+    save_fleet_fault_plan,
+)
+from repro.fleet.partition import PARTITIONERS, partition_trace, split_block, split_stripe
+from repro.fleet.result import FleetResult, fleet_to_dict, merged_response_stats
+from repro.fleet.spec import PARTITIONER_NAMES, FleetSpec, spawn_seeds
+
+__all__ = [
+    "CorrelatedFailure",
+    "FleetFaultPlan",
+    "FleetResult",
+    "FleetSpec",
+    "PARTITIONERS",
+    "PARTITIONER_NAMES",
+    "fleet_fault_plan_from_dict",
+    "fleet_fault_plan_to_dict",
+    "fleet_to_dict",
+    "load_fleet_fault_plan",
+    "merged_response_stats",
+    "partition_trace",
+    "run_fleet",
+    "save_fleet_fault_plan",
+    "spawn_seeds",
+    "split_block",
+    "split_stripe",
+    "trace_label",
+]

@@ -1,0 +1,120 @@
+"""Sharded fleet execution: expand, fan out, merge.
+
+:func:`run_fleet` is the fleet analogue of
+:func:`~repro.analysis.parallel.run_spec`: expand the
+:class:`~repro.fleet.spec.FleetSpec` into per-array
+:class:`~repro.analysis.parallel.RunSpec` shards, fan them over
+:func:`~repro.analysis.parallel.execute` (which already guarantees
+``jobs=K`` byte-identical to serial and returns results in spec order),
+then merge the shard results into one :class:`~repro.fleet.result.FleetResult`.
+
+Fleet determinism therefore holds by construction: the expansion is a
+pure function of the spec (per-array seeds spawned from the fleet seed,
+partitioning a pure function of the trace, fault expansion a pure
+function of the plan), and the merge is a pure fold over shard results
+in array order. Observability follows the single-run contract — every
+``emit`` is ``None``-guarded, so an unobserved fleet constructs no event
+objects, and the fleet counters live on a
+:class:`~repro.obs.metrics.MetricsRegistry` flattened into
+``FleetResult.extras``. Wall-clock figures are deliberately *not* in the
+extras: fleet digests pin behaviour, and callers who want throughput
+(the perf harness, the CLI) time :func:`run_fleet` themselves.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.parallel import execute
+from repro.fleet.result import FleetResult
+from repro.fleet.spec import FleetSpec
+from repro.obs.events import FleetArrayDone, FleetRunEnd, FleetRunStart
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracelog import TraceLog
+
+
+def trace_label(fleet: FleetSpec) -> str:
+    """Human-readable name of the fleet's workload, without building it."""
+    spec = fleet.trace
+    if spec.trace is not None:
+        return spec.trace.name
+    if spec.path is not None:
+        return spec.path
+    name = getattr(spec.config, "name", None)
+    return name if name else (spec.generator or "<empty>")
+
+
+def run_fleet(
+    fleet: FleetSpec,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> FleetResult:
+    """Simulate every array of a fleet and merge the shard results.
+
+    ``jobs`` fans the per-array simulations over worker processes;
+    ``cache`` reuses per-shard results across fleet runs (each shard is
+    cached under its own :class:`RunSpec` key, so two fleets sharing
+    arrays share work). Both knobs are invisible in the result: any
+    ``(jobs, cache)`` combination returns byte-identical
+    :class:`FleetResult` contents for the same spec.
+    """
+    specs = fleet.array_specs()
+    label = trace_label(fleet)
+    log = TraceLog() if fleet.observe else None
+    metrics = MetricsRegistry()
+    if log is not None:
+        log.emit(FleetRunStart(
+            time=0.0,
+            num_arrays=fleet.num_arrays,
+            trace_name=label,
+            policy_name=fleet.policy.name or "",
+            partitioner=fleet.partitioner,
+            goal_s=fleet.goal_s,
+        ))
+
+    results = execute(specs, jobs=jobs, cache=cache)
+
+    arrays_done = metrics.counter("fleet_arrays_done")
+    for i, result in enumerate(results):
+        arrays_done.inc()
+        if log is not None:
+            log.emit(FleetArrayDone(
+                time=result.sim_end,
+                array=i,
+                num_requests=result.num_requests,
+                failed_requests=result.failed_requests,
+                energy_joules=result.energy_joules,
+                mean_response_s=result.mean_response_s,
+            ))
+
+    fleet_result = FleetResult(
+        num_arrays=fleet.num_arrays,
+        trace_name=label,
+        policy_name=results[0].policy_name if results else "",
+        partitioner=fleet.partitioner,
+        goal_s=fleet.goal_s,
+        results=results,
+    )
+    # Deterministic merged figures (the per-shard runtime_events gauge is
+    # an event-loop count, not a wall-clock measurement).
+    metrics.gauge("fleet_events_executed").set(
+        sum(r.extras.get("runtime_events", 0.0) for r in results)
+    )
+    metrics.gauge("fleet_energy_joules").set(fleet_result.energy_joules)
+    metrics.gauge("fleet_failed_requests").set(float(fleet_result.failed_requests))
+    metrics.gauge("fleet_availability").set(fleet_result.availability)
+    metrics.gauge("fleet_spinups").set(float(fleet_result.spinups))
+    metrics.gauge("fleet_speed_changes").set(float(fleet_result.speed_changes))
+    fleet_result.extras = metrics.as_dict()
+
+    if log is not None:
+        log.emit(FleetRunEnd(
+            time=fleet_result.sim_end,
+            num_arrays=fleet.num_arrays,
+            num_requests=fleet_result.num_requests,
+            failed_requests=fleet_result.failed_requests,
+            energy_joules=fleet_result.energy_joules,
+            spinups=fleet_result.spinups,
+            speed_changes=fleet_result.speed_changes,
+        ))
+        fleet_result.events = list(log.events)
+    return fleet_result

@@ -1,0 +1,275 @@
+"""Fleet-level fault plans: correlated failures across arrays.
+
+A :class:`FleetFaultPlan` is the fleet analogue of
+:class:`~repro.faults.plan.FaultPlan`: declarative, frozen, picklable,
+JSON-round-trippable. It composes three layers and *expands* to one
+per-array plan per array (:meth:`FleetFaultPlan.expand`):
+
+* ``common`` — a baseline plan every array gets (transient windows,
+  slow disks, retry budget, rebuild knobs);
+* ``array_plans`` — per-array overrides/additions keyed by array index;
+* ``correlated_failures`` — batch events that kill the same disk slot
+  across many arrays inside a window, the failure mode a single-array
+  simulation cannot express (shared power/cooling/firmware domains —
+  the PACEMAKER-scale question).
+
+Expansion is a pure function of ``(plan, num_arrays)``. Per-array
+transient-draw seeds are spawned from the plan's ``seed`` exactly the
+way :class:`~repro.fleet.spec.FleetSpec` spawns array seeds, so array
+*i*'s error draws are independent of its siblings and identical for any
+``jobs=`` value. An empty plan expands to all-``None`` — byte-identical
+to ``faults=None``, asserted by ``tests/test_fleet.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.disks.scheduling import RetryPolicy
+from repro.faults.plan import (
+    DiskFailure,
+    FaultPlan,
+    fault_plan_from_dict,
+    fault_plan_to_dict,
+)
+
+
+@dataclass(frozen=True)
+class CorrelatedFailure:
+    """One batch-failure event hitting several arrays in a window.
+
+    Attributes:
+        time_s: when the first targeted array's disk dies.
+        disk: the disk index that dies in each targeted array (the
+            shared-slot model: same chassis position, same firmware,
+            same power feed).
+        arrays: targeted array indices; None = every array in the fleet.
+        stagger_s: spacing between consecutive targets — the *k*-th
+            targeted array fails at ``time_s + k * stagger_s``. Zero
+            means a simultaneous batch.
+    """
+
+    time_s: float
+    disk: int
+    arrays: tuple[int, ...] | None = None
+    stagger_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"CorrelatedFailure.time_s must be >= 0, got {self.time_s}")
+        if self.disk < 0:
+            raise ValueError(f"CorrelatedFailure.disk must be >= 0, got {self.disk}")
+        if self.stagger_s < 0:
+            raise ValueError(
+                f"CorrelatedFailure.stagger_s must be >= 0, got {self.stagger_s}"
+            )
+        if self.arrays is not None:
+            if not self.arrays:
+                raise ValueError("CorrelatedFailure.arrays must be non-empty or None")
+            if len(set(self.arrays)) != len(self.arrays):
+                raise ValueError(f"duplicate array indices in {self.arrays}")
+            if any(a < 0 for a in self.arrays):
+                raise ValueError(f"array indices must be >= 0, got {self.arrays}")
+
+    def targets(self, num_arrays: int) -> tuple[int, ...]:
+        """Targeted array indices, validated against the fleet width."""
+        if self.arrays is None:
+            return tuple(range(num_arrays))
+        bad = sorted(a for a in self.arrays if a >= num_arrays)
+        if bad:
+            raise ValueError(
+                f"correlated failure targets arrays {bad} but the fleet "
+                f"has only {num_arrays}"
+            )
+        return self.arrays
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """Every fault a fleet run injects, before per-array expansion.
+
+    Attributes:
+        common: baseline plan applied to every array (its ``seed`` is
+            ignored — per-array seeds are spawned from this plan's).
+        array_plans: ``(array_index, plan)`` pairs adding faults to
+            specific arrays. At most one entry per array.
+        correlated_failures: batch events expanded into per-array
+            :class:`~repro.faults.plan.DiskFailure` entries.
+        seed: base seed; per-array transient-draw seeds are spawned
+            from it so sibling arrays never share an error stream.
+    """
+
+    common: FaultPlan | None = None
+    array_plans: tuple[tuple[int, FaultPlan], ...] = ()
+    correlated_failures: tuple[CorrelatedFailure, ...] = ()
+    seed: int = 4321
+
+    def __post_init__(self) -> None:
+        indices = [index for index, _ in self.array_plans]
+        if len(set(indices)) != len(indices):
+            raise ValueError(f"duplicate array indices in array_plans: {indices}")
+        if any(index < 0 for index in indices):
+            raise ValueError(f"array_plans indices must be >= 0, got {indices}")
+
+    @property
+    def empty(self) -> bool:
+        """True when expansion injects nothing anywhere; an empty fleet
+        plan is byte-identical to ``faults=None``."""
+        if self.correlated_failures:
+            return False
+        if self.common is not None and not self.common.empty:
+            return False
+        return all(plan.empty for _, plan in self.array_plans)
+
+    # -- expansion ----------------------------------------------------------
+
+    def expand(self, num_arrays: int) -> tuple[FaultPlan | None, ...]:
+        """Per-array plans, index-aligned; ``None`` where nothing fires.
+
+        A pure function of ``(self, num_arrays)``: correlated events are
+        staggered deterministically across their targets, per-array
+        seeds are spawned from the plan seed, and retry/rebuild knobs
+        come from the array's own plan when it has one, else from
+        ``common``, else the defaults. A disk failed both by a
+        correlated event and a per-array plan is a contradiction and
+        raises (with the array index) rather than silently dropping one.
+        """
+        if num_arrays < 1:
+            raise ValueError(f"num_arrays must be >= 1, got {num_arrays!r}")
+        for index, _ in self.array_plans:
+            if index >= num_arrays:
+                raise ValueError(
+                    f"array_plans entry for array {index} but the fleet "
+                    f"has only {num_arrays}"
+                )
+        correlated: dict[int, list[DiskFailure]] = {}
+        for event in self.correlated_failures:
+            for k, array in enumerate(event.targets(num_arrays)):
+                correlated.setdefault(array, []).append(
+                    DiskFailure(time_s=event.time_s + k * event.stagger_s,
+                                disk=event.disk)
+                )
+        overrides = dict(self.array_plans)
+        seeds = _spawn_fault_seeds(self.seed, num_arrays)
+        plans: list[FaultPlan | None] = []
+        for i in range(num_arrays):
+            merged = self._merge_one(
+                overrides.get(i), correlated.get(i, []), seeds[i], i
+            )
+            plans.append(merged)
+        return tuple(plans)
+
+    def _merge_one(
+        self,
+        override: FaultPlan | None,
+        batch_failures: list[DiskFailure],
+        seed: int,
+        index: int,
+    ) -> FaultPlan | None:
+        base = self.common
+        failures = list(batch_failures)
+        transients: list[Any] = []
+        slows: list[Any] = []
+        if base is not None:
+            failures.extend(base.disk_failures)
+            transients.extend(base.transient_faults)
+            slows.extend(base.slow_disk_faults)
+        if override is not None:
+            failures.extend(override.disk_failures)
+            transients.extend(override.transient_faults)
+            slows.extend(override.slow_disk_faults)
+        if not (failures or transients or slows):
+            return None
+        knobs = override if override is not None else base
+        retry = knobs.retry if knobs is not None else RetryPolicy()
+        rebuild = knobs.rebuild if knobs is not None else True
+        inflight = knobs.rebuild_max_inflight if knobs is not None else 2
+        try:
+            return FaultPlan(
+                disk_failures=tuple(sorted(failures, key=lambda f: (f.time_s, f.disk))),
+                transient_faults=tuple(transients),
+                slow_disk_faults=tuple(slows),
+                retry=retry,
+                rebuild=rebuild,
+                rebuild_max_inflight=inflight,
+                seed=seed,
+            )
+        except ValueError as exc:
+            raise ValueError(f"array {index}: {exc}") from exc
+
+
+def _spawn_fault_seeds(seed: int, n: int) -> tuple[int, ...]:
+    children = np.random.SeedSequence(seed).spawn(n)
+    return tuple(int(child.generate_state(1, dtype=np.uint64)[0]) for child in children)
+
+
+# -- JSON mapping ------------------------------------------------------------
+
+
+def fleet_fault_plan_to_dict(plan: FleetFaultPlan) -> dict[str, Any]:
+    """Flatten a fleet plan into the JSON mapping ``--fleet-faults`` reads."""
+    return {
+        "common": fault_plan_to_dict(plan.common) if plan.common is not None else None,
+        "array_plans": [
+            {"array": index, "plan": fault_plan_to_dict(sub)}
+            for index, sub in plan.array_plans
+        ],
+        "correlated_failures": [
+            dataclasses.asdict(event) for event in plan.correlated_failures
+        ],
+        "seed": plan.seed,
+    }
+
+
+def fleet_fault_plan_from_dict(data: dict[str, Any]) -> FleetFaultPlan:
+    """Build a fleet plan from its JSON mapping; unknown keys are
+    rejected so a typo fails loudly instead of silently injecting
+    nothing (same contract as :func:`repro.faults.plan.fault_plan_from_dict`)."""
+    known = {f.name for f in dataclasses.fields(FleetFaultPlan)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown FleetFaultPlan keys {unknown}; known: {sorted(known)}")
+    common_data = data.get("common")
+    common = fault_plan_from_dict(common_data) if common_data is not None else None
+    array_plans = tuple(
+        (int(entry["array"]), fault_plan_from_dict(entry["plan"]))
+        for entry in data.get("array_plans", ())
+    )
+    events = tuple(
+        CorrelatedFailure(
+            time_s=float(e["time_s"]),
+            disk=int(e["disk"]),
+            arrays=(tuple(int(a) for a in e["arrays"])
+                    if e.get("arrays") is not None else None),
+            stagger_s=float(e.get("stagger_s", 0.0)),
+        )
+        for e in data.get("correlated_failures", ())
+    )
+    return FleetFaultPlan(
+        common=common,
+        array_plans=array_plans,
+        correlated_failures=events,
+        seed=int(data.get("seed", 4321)),
+    )
+
+
+def load_fleet_fault_plan(path: str | Path) -> FleetFaultPlan:
+    """Read a fleet plan from a JSON file (the ``--fleet-faults`` loader)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: fleet fault plan must be a JSON object")
+    return fleet_fault_plan_from_dict(data)
+
+
+def save_fleet_fault_plan(plan: FleetFaultPlan, path: str | Path) -> None:
+    """Write a fleet plan as JSON (inverse of :func:`load_fleet_fault_plan`)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(fleet_fault_plan_to_dict(plan), fh, indent=2, sort_keys=True)
+        fh.write("\n")

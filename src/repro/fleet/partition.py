@@ -1,0 +1,102 @@
+"""Workload partitioning: one fleet trace -> per-array shards.
+
+The splitting partitioners route every request of a *global* trace
+(extent space ``num_arrays * per_array_extents``) to exactly one array
+and remap its extent into that array's local space. Both are pure
+functions of the trace, so two expansions of the same fleet spec route
+identically:
+
+* ``block`` — array *i* owns the contiguous range
+  ``[i * per_array_extents, (i + 1) * per_array_extents)``. Zipf-hot
+  extents scattered across the global space land on many arrays, but a
+  tenant occupying one contiguous range lands on one array — the
+  multi-tenant layout.
+* ``stripe`` — extent ``g`` goes to array ``g % num_arrays`` at local
+  address ``g // num_arrays``. Round-robin interleaving spreads any
+  workload (hot or cold, contiguous or scattered) evenly — the
+  load-balanced layout.
+
+Request ordering inside each shard preserves the global time order
+(numpy boolean masking is stable), and arrival *times* are untouched:
+shards replay the same wall of offered load the fleet saw, each array
+serving its slice.
+
+The third mode, ``replicate``, is not a split at all — each array
+regenerates the trace recipe with its own spawned seed — and therefore
+lives in :meth:`repro.fleet.spec.FleetSpec._trace_shards`, where the
+per-array seeds are available.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.traces.model import Trace
+
+
+def _split(
+    trace: Trace,
+    num_arrays: int,
+    per_array_extents: int,
+    owner: np.ndarray,
+    local: np.ndarray,
+) -> list[Trace]:
+    shards: list[Trace] = []
+    for i in range(num_arrays):
+        mask = owner == i
+        shards.append(Trace(
+            name=f"{trace.name}/a{i}",
+            num_extents=per_array_extents,
+            times=trace.times[mask].copy(),
+            kinds=trace.kinds[mask].copy(),
+            extents=local[mask].copy(),
+            offsets=trace.offsets[mask].copy(),
+            sizes=trace.sizes[mask].copy(),
+        ))
+    return shards
+
+
+def split_block(trace: Trace, num_arrays: int, per_array_extents: int) -> list[Trace]:
+    """Contiguous extent ranges: array ``i`` owns ``[i*per, (i+1)*per)``."""
+    owner = trace.extents // per_array_extents
+    local = trace.extents - owner * per_array_extents
+    return _split(trace, num_arrays, per_array_extents, owner, local)
+
+
+def split_stripe(trace: Trace, num_arrays: int, per_array_extents: int) -> list[Trace]:
+    """Round-robin interleave: extent ``g`` -> array ``g % num_arrays``."""
+    owner = trace.extents % num_arrays
+    local = trace.extents // num_arrays
+    return _split(trace, num_arrays, per_array_extents, owner, local)
+
+
+#: Splitting partitioners by name (``replicate`` is handled at the spec
+#: level because it needs the per-array seeds, not the trace).
+PARTITIONERS: dict[str, Callable[[Trace, int, int], list[Trace]]] = {
+    "block": split_block,
+    "stripe": split_stripe,
+}
+
+
+def partition_trace(
+    trace: Trace, num_arrays: int, per_array_extents: int, mode: str
+) -> list[Trace]:
+    """Split a global trace into ``num_arrays`` per-array shards.
+
+    Every request lands in exactly one shard (counts are conserved) and
+    the global extent space must match ``num_arrays * per_array_extents``
+    exactly — a mismatch means the fleet spec and the trace disagree
+    about the address space, which would silently misroute load.
+    """
+    if mode not in PARTITIONERS:
+        raise ValueError(f"unknown partitioner {mode!r}; known: {sorted(PARTITIONERS)}")
+    expected = num_arrays * per_array_extents
+    if trace.num_extents != expected:
+        raise ValueError(
+            f"trace addresses {trace.num_extents} extents but the fleet's "
+            f"global space is {num_arrays} arrays x {per_array_extents} = "
+            f"{expected}"
+        )
+    return PARTITIONERS[mode](trace, num_arrays, per_array_extents)

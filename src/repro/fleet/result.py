@@ -1,0 +1,247 @@
+"""Fleet-level merged reports.
+
+A :class:`FleetResult` holds the per-array
+:class:`~repro.sim.runner.SimulationResult` shards (index-aligned with
+the fleet's arrays) plus the merged fleet view. The merge is exact where
+exactness is possible and explicit where it is not:
+
+* **energy / counts** — plain sums, exact;
+* **mean response** — request-weighted merge of per-array means through
+  :meth:`repro.sim.stats.OnlineStats.merge`, exact (the merged mean of
+  per-array (n, mean) summaries equals the mean over all requests);
+* **dispersion across arrays** — the same merge's variance: each array
+  contributes its mean as a point mass, so the merged stdev measures
+  *between-array* spread (tail arrays), not per-request spread;
+* **percentiles** — a fleet cannot reconstruct exact per-request
+  percentiles from shard summaries (samples never leave the worker), so
+  :meth:`FleetResult.percentile_across_arrays` reports the distribution
+  *across arrays* of a per-array metric (e.g. the p95 of per-array p95
+  response times), which is the fleet operator's question anyway: how
+  bad are my worst arrays?
+* **availability** — served / offered foreground requests over the
+  whole fleet, the metric correlated failures actually move.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.events import TraceEvent
+from repro.sim.runner import SimulationResult
+from repro.sim.stats import OnlineStats
+
+
+def merged_response_stats(results: "list[SimulationResult]") -> OnlineStats:
+    """Request-weighted merge of per-array response summaries.
+
+    Each array's (count, mean, max) is folded through
+    :meth:`OnlineStats.merge`. The merged mean and max are exact; the
+    merged variance is the between-array variance of means (per-request
+    spread never leaves the shard). ``min`` is unavailable in a
+    :class:`SimulationResult` and stays at ``inf`` — callers must not
+    report it.
+    """
+    merged = OnlineStats()
+    for result in results:
+        if result.num_requests == 0:
+            continue
+        shard = OnlineStats()
+        shard.n = result.num_requests
+        shard.mean = result.mean_response_s
+        shard.total = result.mean_response_s * result.num_requests
+        shard.max = result.max_response_s
+        merged.merge(shard)
+    return merged
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run reports.
+
+    ``results[i]`` is array *i*'s shard result. ``extras`` carries the
+    merged fleet counters (all deterministic — wall-clock figures are
+    deliberately excluded so fleet digests pin behaviour, not timing).
+    ``events`` holds the *fleet-scoped* structured trace when the run
+    was observed; per-array streams stay inside each shard result.
+    """
+
+    num_arrays: int
+    trace_name: str
+    policy_name: str
+    partitioner: str
+    goal_s: float | None
+    results: list[SimulationResult]
+    extras: dict[str, float] = field(default_factory=dict)
+    events: list[TraceEvent] = field(default_factory=list)
+
+    # -- exact aggregates ----------------------------------------------------
+
+    @property
+    def energy_joules(self) -> float:
+        return sum(r.energy_joules for r in self.results)
+
+    @property
+    def sim_end(self) -> float:
+        return max((r.sim_end for r in self.results), default=0.0)
+
+    @property
+    def num_requests(self) -> int:
+        return sum(r.num_requests for r in self.results)
+
+    @property
+    def failed_requests(self) -> int:
+        return sum(r.failed_requests for r in self.results)
+
+    @property
+    def availability(self) -> float:
+        """Served / offered foreground requests across the fleet (1.0
+        when the fleet saw no load)."""
+        offered = self.num_requests + self.failed_requests
+        if offered == 0:
+            return 1.0
+        return self.num_requests / offered
+
+    @property
+    def mean_power_watts(self) -> float:
+        """Sum of per-array mean powers — the fleet's concurrent draw."""
+        return sum(r.mean_power_watts for r in self.results)
+
+    @property
+    def response(self) -> OnlineStats:
+        """Request-weighted merged response summary (see module docs)."""
+        return merged_response_stats(self.results)
+
+    @property
+    def mean_response_s(self) -> float:
+        stats = self.response
+        return stats.mean if stats.n else 0.0
+
+    @property
+    def max_response_s(self) -> float:
+        stats = self.response
+        return stats.max if stats.n else 0.0
+
+    @property
+    def spinups(self) -> int:
+        return sum(r.spinups for r in self.results)
+
+    @property
+    def speed_changes(self) -> int:
+        return sum(r.speed_changes for r in self.results)
+
+    @property
+    def migration_extents(self) -> int:
+        return sum(r.migration_extents for r in self.results)
+
+    @property
+    def meets_goal(self) -> bool:
+        if self.goal_s is None:
+            return True
+        return self.mean_response_s <= self.goal_s
+
+    def arrays_meeting_goal(self) -> int:
+        """How many individual arrays keep their own mean within goal."""
+        return sum(1 for r in self.results if r.meets_goal)
+
+    def energy_savings_vs(self, baseline: "FleetResult") -> float:
+        """Fractional fleet energy savings relative to ``baseline``."""
+        if baseline.energy_joules <= 0:
+            return 0.0
+        return 1.0 - self.energy_joules / baseline.energy_joules
+
+    # -- across-array distributions ------------------------------------------
+
+    def percentile_across_arrays(self, metric: str, q: float) -> float:
+        """``q``-th percentile across arrays of a per-array result field.
+
+        ``metric`` names a :class:`SimulationResult` attribute (e.g.
+        ``"mean_response_s"``, ``"p95_response_s"``, ``"energy_joules"``).
+        NaN entries (percentiles unavailable on a shard) are excluded;
+        all-NaN yields NaN.
+        """
+        values = [float(getattr(r, metric)) for r in self.results]
+        finite = [v for v in values if not math.isnan(v)]
+        if not finite:
+            return float("nan")
+        return float(np.percentile(finite, q))
+
+    # -- reporting -----------------------------------------------------------
+
+    HEADERS = (
+        "array", "requests", "failed", "energy kJ", "mean W",
+        "mean ms", "p95 ms", "avail %",
+    )
+
+    def rows(self) -> list[tuple[str, ...]]:
+        """Per-array table rows (parallel to :data:`HEADERS`)."""
+        rows: list[tuple[str, ...]] = []
+        for i, r in enumerate(self.results):
+            offered = r.num_requests + r.failed_requests
+            avail = 100.0 * (r.num_requests / offered) if offered else 100.0
+            p95 = r.p95_response_s
+            rows.append((
+                str(i),
+                str(r.num_requests),
+                str(r.failed_requests),
+                f"{r.energy_joules / 1e3:.1f}",
+                f"{r.mean_power_watts:.1f}",
+                f"{r.mean_response_s * 1e3:.2f}",
+                "n/a" if math.isnan(p95) else f"{p95 * 1e3:.2f}",
+                f"{avail:.2f}",
+            ))
+        return rows
+
+    def summary_pairs(self) -> list[tuple[str, str]]:
+        """Key/value lines for the merged fleet block."""
+        stats = self.response
+        pairs = [
+            ("arrays", str(self.num_arrays)),
+            ("partitioner", self.partitioner),
+            ("requests", str(self.num_requests)),
+            ("failed", str(self.failed_requests)),
+            ("availability", f"{100.0 * self.availability:.3f} %"),
+            ("energy", f"{self.energy_joules / 1e3:.1f} kJ"),
+            ("fleet power", f"{self.mean_power_watts:.1f} W"),
+            ("mean response", f"{self.mean_response_s * 1e3:.2f} ms"),
+            ("max response", f"{self.max_response_s * 1e3:.1f} ms"),
+            ("stdev across arrays", f"{stats.stdev * 1e3:.2f} ms"),
+            ("p95 of array means",
+             f"{self.percentile_across_arrays('mean_response_s', 95) * 1e3:.2f} ms"),
+        ]
+        if self.goal_s is not None:
+            pairs.append(("goal", f"{self.goal_s * 1e3:.2f} ms "
+                                  f"({'met' if self.meets_goal else 'VIOLATED'}; "
+                                  f"{self.arrays_meeting_goal()}/{self.num_arrays} "
+                                  "arrays within goal)"))
+        return pairs
+
+
+def fleet_to_dict(fleet_result: FleetResult) -> dict[str, object]:
+    """JSON-safe dict of the merged view plus per-array summaries.
+
+    Per-array entries reuse the single-run exporter so downstream
+    consumers see the exact shape ``repro run --json`` emits.
+    """
+    from repro.analysis.export import result_to_dict
+
+    stats = fleet_result.response
+    return {
+        "num_arrays": fleet_result.num_arrays,
+        "trace_name": fleet_result.trace_name,
+        "policy_name": fleet_result.policy_name,
+        "partitioner": fleet_result.partitioner,
+        "goal_s": fleet_result.goal_s,
+        "num_requests": fleet_result.num_requests,
+        "failed_requests": fleet_result.failed_requests,
+        "availability": fleet_result.availability,
+        "energy_joules": fleet_result.energy_joules,
+        "mean_power_watts": fleet_result.mean_power_watts,
+        "mean_response_s": fleet_result.mean_response_s,
+        "max_response_s": fleet_result.max_response_s,
+        "response_stdev_across_arrays_s": stats.stdev if stats.n else 0.0,
+        "extras": dict(fleet_result.extras),
+        "arrays": [result_to_dict(r) for r in fleet_result.results],
+    }

@@ -34,6 +34,7 @@ _RESULT_SCOPES = (
     "repro.policies",
     "repro.traces",
     "repro.faults",
+    "repro.fleet",
 )
 
 #: Stdlib ``random`` module-level functions draw from one hidden global

@@ -38,6 +38,7 @@ _OBS_SCOPES = (
     "repro.disks",
     "repro.policies",
     "repro.faults",
+    "repro.fleet",
 )
 
 _EMITTING_CACHE_KEY = "obspairing.emitting_functions"

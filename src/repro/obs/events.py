@@ -251,6 +251,49 @@ class RebuildProgress(TraceEvent):
     kind: ClassVar[str] = "rebuild_progress"
 
 
+@_register
+@dataclass(frozen=True)
+class FleetRunStart(TraceEvent):
+    """First event of an observed fleet run: identifies the fleet."""
+
+    num_arrays: int
+    trace_name: str
+    policy_name: str
+    partitioner: str
+    goal_s: float | None
+
+    kind: ClassVar[str] = "fleet_run_start"
+
+
+@_register
+@dataclass(frozen=True)
+class FleetArrayDone(TraceEvent):
+    """One array's shard finished (time = that array's sim end)."""
+
+    array: int
+    num_requests: int
+    failed_requests: int
+    energy_joules: float
+    mean_response_s: float
+
+    kind: ClassVar[str] = "fleet_array_done"
+
+
+@_register
+@dataclass(frozen=True)
+class FleetRunEnd(TraceEvent):
+    """Last event of an observed fleet run: the merged totals."""
+
+    num_arrays: int
+    num_requests: int
+    failed_requests: int
+    energy_joules: float
+    spinups: int
+    speed_changes: int
+
+    kind: ClassVar[str] = "fleet_run_end"
+
+
 def event_to_dict(event: TraceEvent) -> dict[str, Any]:
     """Flatten an event into a JSON-safe dict (``event`` key = kind tag)."""
     out: dict[str, Any] = {"event": event.kind}

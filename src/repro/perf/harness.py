@@ -42,8 +42,10 @@ from typing import Any, Callable
 
 from repro.analysis.cache import CODE_VERSION
 from repro.analysis.parallel import run_spec
+from repro.fleet.executor import run_fleet
+from repro.fleet.spec import FleetSpec
 from repro.lint.guard import resolve_repo_root
-from repro.perf.digest import DIGEST_VERSION, result_digest
+from repro.perf.digest import DIGEST_VERSION, fleet_result_digest, result_digest
 from repro.perf.scenarios import PerfScenario, golden_specs
 
 BENCH_SCHEMA_VERSION = 1
@@ -54,39 +56,57 @@ BENCH_PREFIX = "BENCH_"
 DEFAULT_THRESHOLD = 0.9
 
 
-def _run_one(scenario: PerfScenario, repeats: int) -> dict[str, Any]:
-    """Run ``scenario`` ``repeats`` times; record best wall time."""
+def _measure(spec: Any) -> tuple[Any, str, int, int, float]:
+    """Run one spec (single-array or fleet) and digest the result."""
+    start = time.perf_counter()
+    if isinstance(spec, FleetSpec):
+        fleet_result = run_fleet(spec)
+        wall = time.perf_counter() - start
+        return (
+            fleet_result,
+            fleet_result_digest(fleet_result),
+            int(fleet_result.extras["fleet_events_executed"]),
+            fleet_result.num_requests + fleet_result.failed_requests,
+            wall,
+        )
+    result = run_spec(spec)
+    wall = time.perf_counter() - start
+    return (
+        result,
+        result_digest(result),
+        int(result.extras["runtime_events"]),
+        result.num_requests + result.failed_requests,
+        wall,
+    )
+
+
+def _run_one(scenario: PerfScenario, repeats: int) -> tuple[dict[str, Any], int]:
+    """Run ``scenario`` ``repeats`` times; record best wall time.
+
+    Returns ``(record, distinct_digests)``. The digest count is the
+    caller's determinism canary: it must be 1, but the verdict is left
+    to :func:`run_benchmark` so a full matrix run reports *every*
+    nondeterministic scenario at once instead of aborting on the first.
+    """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats!r}")
     best_wall = float("inf")
     digests: set[str] = set()
-    result = None
+    events = requests = 0
     for _ in range(repeats):
         spec = scenario.spec()  # fresh spec per repeat: policies are stateful
-        start = time.perf_counter()
-        result = run_spec(spec)
-        wall = time.perf_counter() - start
+        _, digest, events, requests, wall = _measure(spec)
         best_wall = min(best_wall, wall)
-        digests.add(result_digest(result))
-    if len(digests) != 1:
-        # The harness doubles as a cheap determinism canary: repeats of
-        # one spec must be byte-identical (modulo runtime_* extras).
-        raise RuntimeError(
-            f"scenario {scenario.name!r} produced {len(digests)} distinct "
-            "result digests across repeats; the simulator leaked "
-            "nondeterminism"
-        )
-    assert result is not None
-    events = int(result.extras["runtime_events"])
-    requests = result.num_requests + result.failed_requests
-    return {
+        digests.add(digest)
+    record = {
         "events": events,
         "requests": requests,
         "wall_s": best_wall,
         "events_per_s": events / best_wall,
         "requests_per_s": requests / best_wall,
-        "digest": digests.pop(),
+        "digest": min(digests),
     }
+    return record, len(digests)
 
 
 def run_benchmark(
@@ -94,16 +114,36 @@ def run_benchmark(
     repeats: int = 3,
     log: Callable[[str], None] | None = None,
 ) -> dict[str, Any]:
-    """Run the scenarios and build a BENCH document."""
+    """Run the scenarios and build a BENCH document.
+
+    Repeats of one spec must be byte-identical (modulo ``runtime_*``
+    extras); any scenario whose repeats disagree means the simulator
+    leaked nondeterminism. All such scenarios are collected and reported
+    in a single :class:`RuntimeError` after the whole matrix has run, so
+    one flaky scenario cannot hide another.
+    """
     records: dict[str, Any] = {}
+    nondeterministic: list[str] = []
     for scenario in scenarios:
-        record = _run_one(scenario, repeats)
+        record, distinct = _run_one(scenario, repeats)
         records[scenario.name] = record
+        if distinct != 1:
+            nondeterministic.append(scenario.name)
+            if log is not None:
+                log(f"  {scenario.name:<28} NONDETERMINISTIC "
+                    f"({distinct} distinct digests)")
+            continue
         if log is not None:
             log(
                 f"  {scenario.name:<28} {record['events']:>8} events  "
                 f"{record['wall_s']:.3f} s  {record['events_per_s']:>10,.0f} ev/s"
             )
+    if nondeterministic:
+        raise RuntimeError(
+            "scenario(s) produced multiple distinct result digests across "
+            f"repeats: {', '.join(nondeterministic)}; the simulator leaked "
+            "nondeterminism"
+        )
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -141,10 +181,15 @@ def find_baseline(
 
     ``exclude`` is the output path of the current run, so a rerun never
     compares against itself.
+
+    Ties on ``generated_at`` (two files generated in the same second, or
+    a copied document) are broken by file name, lexicographically last —
+    an explicit, platform-independent rule, so which file wins never
+    depends on directory iteration order.
     """
     base = Path(root) if root is not None else resolve_repo_root(Path.cwd())
     excluded = Path(exclude).resolve() if exclude is not None else None
-    best: tuple[str, Path] | None = None
+    best: tuple[str, str, Path] | None = None
     for path in sorted(base.glob(BENCH_PREFIX + "*.json")):
         if excluded is not None and path.resolve() == excluded:
             continue
@@ -153,9 +198,9 @@ def find_baseline(
         except (ValueError, OSError, json.JSONDecodeError):
             continue
         stamp = str(doc.get("generated_at", ""))
-        if best is None or stamp > best[0]:
-            best = (stamp, path)
-    return best[1] if best is not None else None
+        if best is None or (stamp, path.name) > (best[0], best[1]):
+            best = (stamp, path.name, path)
+    return best[2] if best is not None else None
 
 
 def compare_benchmarks(
@@ -168,8 +213,11 @@ def compare_benchmarks(
     Returns ``(lines, regressions)``: human-readable comparison lines
     for every scenario present in both documents, and the names of
     scenarios whose ``events_per_s`` fell below ``threshold`` times the
-    baseline. Scenarios present on only one side are reported but never
-    regressions (renames/additions must not wedge the gate).
+    baseline. The gate runs on the *intersection* only: scenarios
+    present on one side (added since the baseline, or dropped from it)
+    are reported as informational lines plus a drift summary, never as
+    regressions — a matrix rename or addition must not wedge the gate,
+    and must not KeyError either.
     """
     if not 0.0 < threshold:
         raise ValueError(f"threshold must be positive, got {threshold!r}")
@@ -177,6 +225,8 @@ def compare_benchmarks(
     regressions: list[str] = []
     cur = current["scenarios"]
     base = baseline["scenarios"]
+    added = sorted(set(cur) - set(base))
+    removed = sorted(set(base) - set(cur))
     for name in sorted(set(cur) | set(base)):
         if name not in base:
             lines.append(f"  {name:<28} (new scenario, no baseline)")
@@ -195,6 +245,11 @@ def compare_benchmarks(
             f"  {name:<28} {old:>10,.0f} -> {new:>10,.0f} ev/s "
             f"({ratio:.2f}x){marker}"
         )
+    if added or removed:
+        lines.append(
+            f"  (scenario drift: {len(added)} added, {len(removed)} removed; "
+            f"gated on {len(set(cur) & set(base))} common)"
+        )
     return lines, regressions
 
 
@@ -205,8 +260,7 @@ def write_golden(path: str | Path) -> dict[str, str]:
     only legitimate when a change *intends* to alter results, in which
     case ``CODE_VERSION`` must be bumped too (CACHE002 enforces that).
     """
-    digests = {name: result_digest(run_spec(spec))
-               for name, spec in sorted(golden_specs().items())}
+    digests = {name: _measure(spec)[1] for name, spec in sorted(golden_specs().items())}
     doc = {
         "schema": 1,
         "digest_version": DIGEST_VERSION,

@@ -7,6 +7,8 @@ import io
 import pstats
 
 from repro.analysis.parallel import run_spec
+from repro.fleet.executor import run_fleet
+from repro.fleet.spec import FleetSpec
 from repro.perf.scenarios import PerfScenario
 
 
@@ -16,7 +18,9 @@ def profile_scenarios(scenarios: tuple[PerfScenario, ...], top: int = 25) -> str
     One shared profiler (rather than one per scenario) answers the
     question the flag exists for — *where does the whole matrix spend
     its time* — and keeps rarely-hit paths from being drowned out by
-    per-report noise floors.
+    per-report noise floors. Fleet scenarios run serially (``jobs=1``)
+    so their shard work is visible to the profiler instead of hiding in
+    worker processes.
     """
     if top < 1:
         raise ValueError(f"top must be >= 1, got {top!r}")
@@ -24,7 +28,10 @@ def profile_scenarios(scenarios: tuple[PerfScenario, ...], top: int = 25) -> str
     for scenario in scenarios:
         spec = scenario.spec()
         profiler.enable()
-        run_spec(spec)
+        if isinstance(spec, FleetSpec):
+            run_fleet(spec)
+        else:
+            run_spec(spec)
         profiler.disable()
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)

@@ -1,11 +1,14 @@
 """The canonical benchmark scenario matrix.
 
-Eight scenarios cover the hot paths the simulator actually exercises:
+Nine scenarios cover the hot paths the simulator actually exercises:
 {synthetic Poisson, cello-style diurnal} traces x {always-on,
-Hibernator} policies x {fault-free, faulty}. Each is expressed as a
-:class:`~repro.analysis.parallel.RunSpec` recipe, so a scenario runs
-through the exact same stack as a real experiment (trace generated in
-place, policy built fresh per run — policies are stateful).
+Hibernator} policies x {fault-free, faulty}, plus ``fleet-small``, a
+four-array fleet with a correlated batch failure that benchmarks the
+:mod:`repro.fleet` expansion/partition/merge stack. Each scenario is
+expressed as a :class:`~repro.analysis.parallel.RunSpec` (or
+:class:`~repro.fleet.spec.FleetSpec`) recipe, so it runs through the
+exact same stack as a real experiment (trace generated in place, policy
+built fresh per run — policies are stateful).
 
 Sizes are chosen so one scenario takes on the order of a second at the
 pre-optimization throughput: big enough that per-event costs dominate
@@ -24,6 +27,8 @@ from repro.analysis.experiments import default_array_config
 from repro.analysis.parallel import PolicySpec, RunSpec, TraceSpec
 from repro.disks.array import ArrayConfig
 from repro.faults.plan import FaultPlan, SlowDiskFault, TransientFault
+from repro.fleet.faults import CorrelatedFailure, FleetFaultPlan
+from repro.fleet.spec import FleetSpec
 from repro.traces.cello import CelloConfig
 from repro.traces.synthetic import SyntheticConfig
 
@@ -94,6 +99,52 @@ def _cello_faults() -> FaultPlan:
 _TRACES = {"synthetic": _synthetic, "cello": _cello}
 _FAULTS = {"synthetic": _synthetic_faults, "cello": _cello_faults}
 
+#: Fleet width of the ``fleet-small`` scenario.
+FLEET_ARRAYS = 4
+
+
+def _fleet_trace(num_arrays: int, duration: float, rate: float) -> TraceSpec:
+    """Global trace addressing the whole fleet's extent space."""
+    return TraceSpec.from_generator(
+        "synthetic",
+        SyntheticConfig(
+            name="perf-fleet",
+            duration=duration,
+            rate=rate,
+            num_extents=num_arrays * NUM_EXTENTS,
+            zipf_theta=0.9,
+            seed=31,
+        ),
+    )
+
+
+def _fleet_faults() -> FleetFaultPlan:
+    # One correlated batch failure plus the usual transient window via
+    # the common plan, so the fleet fault path (expansion, merge, seeds)
+    # is all on the benchmarked path.
+    return FleetFaultPlan(
+        common=FaultPlan(
+            transient_faults=(
+                TransientFault(start_s=30.0, end_s=90.0, probability=0.03),
+            ),
+        ),
+        correlated_failures=(
+            CorrelatedFailure(time_s=60.0, disk=2, arrays=(0, 2), stagger_s=5.0),
+        ),
+    )
+
+
+def _fleet_spec() -> FleetSpec:
+    return FleetSpec(
+        num_arrays=FLEET_ARRAYS,
+        trace=_fleet_trace(FLEET_ARRAYS, duration=120.0, rate=200.0),
+        array=_array(),
+        policy=PolicySpec.named("hibernator", epoch_seconds=EPOCH_S),
+        partitioner="block",
+        goal_s=GOAL_S,
+        faults=_fleet_faults(),
+    )
+
 
 @dataclass(frozen=True)
 class PerfScenario:
@@ -106,6 +157,10 @@ class PerfScenario:
         policy: ``"base"`` (always-on) or ``"hibernator"``.
         faults: inject the trace kind's fault plan.
         quick: member of the ``--quick`` subset (CI smoke).
+        fleet: a fleet-scale scenario — ``spec()`` returns a
+            :class:`FleetSpec` and the harness runs it through
+            :func:`repro.fleet.executor.run_fleet` (``trace``/``policy``/
+            ``faults`` are fixed by the fleet recipe).
     """
 
     name: str
@@ -113,9 +168,12 @@ class PerfScenario:
     policy: str
     faults: bool
     quick: bool = False
+    fleet: bool = False
 
-    def spec(self) -> RunSpec:
+    def spec(self) -> RunSpec | FleetSpec:
         """A fresh, fully self-contained run recipe for this scenario."""
+        if self.fleet:
+            return _fleet_spec()
         if self.policy == "base":
             policy = PolicySpec.named("base")
             goal = None
@@ -141,6 +199,8 @@ PERF_SCENARIOS: tuple[PerfScenario, ...] = (
     PerfScenario("cello-hibernator", "cello", "hibernator", faults=False, quick=True),
     PerfScenario("cello-base-faults", "cello", "base", faults=True),
     PerfScenario("cello-hibernator-faults", "cello", "hibernator", faults=True),
+    PerfScenario("fleet-small", "synthetic", "hibernator", faults=True,
+                 quick=True, fleet=True),
 )
 
 
@@ -178,14 +238,15 @@ def _golden_trace() -> TraceSpec:
     )
 
 
-def golden_specs() -> dict[str, RunSpec]:
+def golden_specs() -> dict[str, RunSpec | FleetSpec]:
     """The digest-pinned run recipes, by name.
 
     Small on purpose (they run inside the tier-1 test suite) but chosen
     to cover every accounting surface performance work touches: plain
     replay, Hibernator control flow, fault injection with retries, the
-    time-series sampler (``window_s``), and the no-retained-samples
-    percentile path.
+    time-series sampler (``window_s``), the no-retained-samples
+    percentile path, and (``golden-fleet``) the fleet
+    expansion/partition/merge stack including correlated failures.
     """
     return {
         "golden-base": RunSpec(
@@ -219,5 +280,19 @@ def golden_specs() -> dict[str, RunSpec]:
             array=_array(),
             policy=PolicySpec.named("base"),
             keep_latency_samples=False,
+        ),
+        "golden-fleet": FleetSpec(
+            num_arrays=3,
+            trace=_fleet_trace(3, duration=40.0, rate=90.0),
+            array=_array(),
+            policy=PolicySpec.named("base"),
+            partitioner="stripe",
+            faults=FleetFaultPlan(
+                correlated_failures=(
+                    CorrelatedFailure(time_s=15.0, disk=1, arrays=(0, 2),
+                                      stagger_s=2.0),
+                ),
+            ),
+            observe=True,
         ),
     }

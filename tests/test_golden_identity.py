@@ -21,10 +21,19 @@ import pytest
 
 from repro.analysis.cache import CODE_VERSION
 from repro.analysis.parallel import execute, run_spec
-from repro.perf.digest import DIGEST_VERSION, result_digest
+from repro.fleet.executor import run_fleet
+from repro.fleet.spec import FleetSpec
+from repro.perf.digest import DIGEST_VERSION, fleet_result_digest, result_digest
 from repro.perf.scenarios import golden_specs
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_results.json"
+
+
+def _digest(spec, jobs: int = 1) -> str:
+    """Digest one golden spec, single-array or fleet."""
+    if isinstance(spec, FleetSpec):
+        return fleet_result_digest(run_fleet(spec, jobs=jobs))
+    return result_digest(run_spec(spec))
 
 
 @pytest.fixture(scope="module")
@@ -47,7 +56,7 @@ def test_pin_file_covers_every_golden_spec(pinned):
 def test_golden_results_are_byte_identical_serial(pinned):
     specs = golden_specs()
     for name in sorted(specs):
-        digest = result_digest(run_spec(specs[name]))
+        digest = _digest(specs[name])
         assert digest == pinned["digests"][name], (
             f"{name}: result digest drifted — the simulator's output "
             "changed. If intentional, bump CODE_VERSION and regenerate "
@@ -58,9 +67,20 @@ def test_golden_results_are_byte_identical_serial(pinned):
 def test_golden_results_are_byte_identical_parallel(pinned):
     """jobs=2 must reproduce the same bytes as jobs=1 (and the pins)."""
     specs = golden_specs()
-    names = sorted(specs)
+    names = sorted(n for n in specs if not isinstance(specs[n], FleetSpec))
     results = execute([specs[n] for n in names], jobs=2)
     for name, result in zip(names, results):
         assert result_digest(result) == pinned["digests"][name], (
             f"{name}: parallel execution produced different bytes"
+        )
+
+
+def test_golden_fleet_is_byte_identical_parallel(pinned):
+    """The fleet pin must reproduce with sharded (jobs=2) execution."""
+    specs = golden_specs()
+    fleets = {n: s for n, s in specs.items() if isinstance(s, FleetSpec)}
+    assert fleets, "golden set lost its fleet spec"
+    for name, spec in sorted(fleets.items()):
+        assert _digest(spec, jobs=2) == pinned["digests"][name], (
+            f"{name}: sharded fleet execution produced different bytes"
         )

@@ -50,7 +50,8 @@ class TestScenarios:
 
     def test_golden_specs_have_stable_names(self):
         assert sorted(golden_specs()) == [
-            "golden-base", "golden-faults", "golden-hibernator", "golden-nosamples",
+            "golden-base", "golden-faults", "golden-fleet", "golden-hibernator",
+            "golden-nosamples",
         ]
 
 
@@ -113,6 +114,23 @@ class TestCompare:
         assert regressions == []
         text = "\n".join(lines)
         assert "new scenario" in text and "baseline only" in text
+        assert "1 added, 1 removed" in text
+
+    def test_drifted_matrix_still_gates_the_intersection(self):
+        """Scenario-set drift (matrix grew a scenario, baseline has one
+        the run dropped) must not KeyError — and must not mask a real
+        regression in the scenarios both documents share."""
+        current = _bench_doc(shared=70.0, brand_new=10.0)
+        baseline = _bench_doc(shared=100.0, retired=10.0)
+        lines, regressions = compare_benchmarks(current, baseline, threshold=0.9)
+        assert regressions == ["shared"]
+        text = "\n".join(lines)
+        assert "brand_new" in text and "retired" in text
+        assert "gated on 1 common" in text
+
+    def test_identical_matrices_report_no_drift(self):
+        lines, _ = compare_benchmarks(_bench_doc(a=1.0), _bench_doc(a=1.0))
+        assert not any("drift" in line for line in lines)
 
     def test_bad_threshold_raises(self):
         with pytest.raises(ValueError, match="threshold"):
@@ -156,6 +174,32 @@ class TestBenchFiles:
     def test_find_baseline_empty_dir(self, tmp_path):
         assert find_baseline(tmp_path) is None
 
+    def test_find_baseline_tie_breaks_on_filename(self, tmp_path):
+        """Equal ``generated_at`` stamps must resolve deterministically:
+        the lexicographically last file name wins (documented rule)."""
+        doc = _bench_doc(a=1.0)
+        doc["generated_at"] = "2026-08-05T00:00:00+00:00"
+        write_bench(doc, tmp_path / f"{BENCH_PREFIX}aaa.json")
+        write_bench(doc, tmp_path / f"{BENCH_PREFIX}zzz.json")
+        assert find_baseline(tmp_path) == tmp_path / f"{BENCH_PREFIX}zzz.json"
+        # Creation order must not matter: same answer with the names
+        # written the other way round in a fresh directory.
+        other = tmp_path / "other"
+        other.mkdir()
+        write_bench(doc, other / f"{BENCH_PREFIX}zzz.json")
+        write_bench(doc, other / f"{BENCH_PREFIX}aaa.json")
+        assert find_baseline(other) == other / f"{BENCH_PREFIX}zzz.json"
+
+    def test_find_baseline_newer_stamp_beats_filename(self, tmp_path):
+        older = _bench_doc(a=1.0)
+        older["generated_at"] = "2026-08-01T00:00:00+00:00"
+        newer = _bench_doc(a=2.0)
+        newer["generated_at"] = "2026-08-04T00:00:00+00:00"
+        # The newest stamp wins even when its file name sorts first.
+        write_bench(newer, tmp_path / f"{BENCH_PREFIX}aaa.json")
+        write_bench(older, tmp_path / f"{BENCH_PREFIX}zzz.json")
+        assert find_baseline(tmp_path) == tmp_path / f"{BENCH_PREFIX}aaa.json"
+
 
 class TestRunBenchmark:
     def test_benchmark_records_throughput_and_digest(self):
@@ -179,3 +223,47 @@ class TestRunBenchmark:
         scenario = select_scenarios(["synth-base"])[0]
         with pytest.raises(ValueError, match="repeats"):
             run_benchmark((scenario,), repeats=0)
+
+    def test_fleet_scenario_produces_a_record(self):
+        scenario = select_scenarios(["fleet-small"])[0]
+        assert scenario.fleet
+        doc = run_benchmark((scenario,), repeats=1)
+        record = doc["scenarios"]["fleet-small"]
+        assert record["events"] > 0 and record["requests"] > 0
+        assert len(record["digest"]) == 64
+
+    def test_nondeterministic_scenarios_are_all_reported(self):
+        """One flaky scenario must not abort the matrix: every scenario
+        runs, and the error names every offender at once."""
+
+        class _FlakySpec:
+            # Distinct extras per run -> distinct digest per repeat.
+            def __init__(self):
+                _FlakySpec.counter += 1
+                self.tick = _FlakySpec.counter
+
+        _FlakySpec.counter = 0
+
+        @dataclasses.dataclass(frozen=True)
+        class _Stub:
+            name: str
+            flaky: bool
+
+            def spec(self):
+                real = golden_specs()["golden-nosamples"]
+                if not self.flaky:
+                    return real
+                tick = _FlakySpec().tick
+                return dataclasses.replace(
+                    real, goal_s=0.001 * tick)  # different spec each repeat
+
+        scenarios = (
+            _Stub("flaky-a", True),
+            _Stub("steady", False),
+            _Stub("flaky-b", True),
+        )
+        with pytest.raises(RuntimeError) as err:
+            run_benchmark(scenarios, repeats=2)
+        message = str(err.value)
+        assert "flaky-a" in message and "flaky-b" in message
+        assert "steady" not in message

@@ -24,6 +24,8 @@ MODULES = [
     "repro.policies.tpm", "repro.policies.drpm", "repro.policies.pdc",
     "repro.policies.maid", "repro.policies.oracle",
     "repro.faults", "repro.faults.plan", "repro.faults.injector",
+    "repro.fleet", "repro.fleet.spec", "repro.fleet.partition",
+    "repro.fleet.faults", "repro.fleet.executor", "repro.fleet.result",
     "repro.core", "repro.core.temperature", "repro.core.response_model",
     "repro.core.speed_setting", "repro.core.layout", "repro.core.migration",
     "repro.core.guarantee", "repro.core.hibernator",
