@@ -87,13 +87,39 @@ def comparison_to_dict(comparison: ComparisonResult, include_series: bool = Fals
     }
 
 
+def _strict_json(value: Any) -> Any:
+    """Recursively replace non-finite floats with None.
+
+    ``result_to_dict`` guards the fields it knows can be NaN (the
+    percentiles, empty latency windows), but values it passes through
+    whole — ``extras`` gauges, event fields — can also carry NaN, and
+    Python's default ``json.dump`` would emit a bare ``NaN`` literal
+    that strict parsers (``jq``, ``JSON.parse``) reject. Every ``--json``
+    CLI path funnels through :func:`write_json`, so sanitizing here
+    covers run/compare/fleet at once.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _strict_json(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_strict_json(v) for v in value]
+    return value
+
+
 def write_json(data: dict[str, Any], path: str | Path | IO[str]) -> None:
-    """Write a dict (from the functions above) as indented JSON."""
+    """Write a dict (from the functions above) as strict indented JSON.
+
+    Non-finite floats anywhere in the tree become null;
+    ``allow_nan=False`` makes any leak a loud error instead of invalid
+    output.
+    """
+    data = _strict_json(data)
     if hasattr(path, "write"):
-        json.dump(data, path, indent=2, sort_keys=True)  # type: ignore[arg-type]
+        json.dump(data, path, indent=2, sort_keys=True, allow_nan=False)  # type: ignore[arg-type]
         return
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
+        json.dump(data, fh, indent=2, sort_keys=True, allow_nan=False)
 
 
 _CSV_FIELDS = [

@@ -18,6 +18,15 @@ Fleet-scale simulation (see docs/fleet.md)::
     python -m repro fleet run --arrays 4 --partitioner stripe --json
     python -m repro fleet compare --arrays 4 --policies base,hibernator
 
+Online serving (see docs/serve.md)::
+
+    python -m repro serve --replay oltp.csv --accel 0 --control /tmp/repro.sock
+    python -m repro serve --live --ingest /tmp/feed.sock --accel 60 \\
+        --control /tmp/repro.sock
+    python -m repro ctl status --control /tmp/repro.sock
+    python -m repro ctl set-goal --goal-ms 250 --control /tmp/repro.sock
+    python -m repro ctl shutdown --control /tmp/repro.sock
+
 Traces can come from a file (``--trace``) or be generated inline with
 the same knobs as ``gen-trace``. All commands print plain-text tables.
 """
@@ -25,6 +34,7 @@ the same knobs as ``gen-trace``. All commands print plain-text tables.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Sequence
 
@@ -53,6 +63,7 @@ from repro.traces.synthetic import SyntheticConfig, generate_synthetic
 from repro.traces.tracestats import compute_trace_stats, per_extent_rates
 
 POLICY_NAMES = ("base", "tpm", "drpm", "pdc", "maid", "hibernator", "oracle")
+CTL_COMMANDS = ("ping", "status", "set-goal", "inject-fault", "force-boost", "shutdown")
 
 
 def _add_trace_source(parser: argparse.ArgumentParser) -> None:
@@ -91,10 +102,61 @@ def _add_trace_out(parser: argparse.ArgumentParser) -> None:
 
 
 def _write_trace_out(events, path: str) -> None:
+    """Write the JSONL trace atomically (temp file + rename).
+
+    A SIGINT/SIGTERM mid-write can otherwise leave a truncated final
+    line; with the rename, readers only ever see a complete file (or
+    the previous one).
+    """
+    import os
+    import tempfile
+    from pathlib import Path
+
     from repro.obs.tracelog import write_jsonl
 
-    lines = write_jsonl(events, path)
+    target = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(target.parent) or ".", prefix=f".{target.name}.", suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            lines = write_jsonl(events, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     print(f"wrote {lines} trace event(s) to {path}")
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Turn SIGTERM into KeyboardInterrupt for the enclosed block.
+
+    `kill <pid>` then unwinds through the same exception path as Ctrl-C,
+    so `finally` blocks (worker-pool teardown, atomic file writes) run
+    instead of the process dying mid-write. Only installable from the
+    main thread; elsewhere (tests) the block runs unprotected.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _make_cache(args: argparse.Namespace):
@@ -408,7 +470,18 @@ def cmd_fleet_run(args: argparse.Namespace) -> int:
     fleet = _build_fleet(args, args.policy)
     cache = _make_cache(args)
     start = time.perf_counter()
-    result = run_fleet(fleet, jobs=args.jobs, cache=cache)
+    # Long fleet runs are the ones operators Ctrl-C or `kill` mid-flight;
+    # route SIGTERM through KeyboardInterrupt so both paths unwind the
+    # same way: worker pool torn down, already-cached shards stay cached
+    # (each put is atomic), and no partial --trace-out file can appear
+    # (it is written atomically after the run completes).
+    with _graceful_sigterm():
+        try:
+            result = run_fleet(fleet, jobs=args.jobs, cache=cache)
+        except KeyboardInterrupt:
+            print("repro fleet run: interrupted; partial results discarded "
+                  "(cached shards are kept for the next run)", file=sys.stderr)
+            return 130
     wall = time.perf_counter() - start
     if args.trace_out:
         events = list(result.events)
@@ -476,6 +549,103 @@ def cmd_fleet_compare(args: argparse.Namespace) -> int:
         stats = cache.stats()
         print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
               f"{stats['stores']} stored, {stats['entries']} entr(ies) on disk")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import ServeDaemon
+    from repro.sim.runner import ArraySimulation
+    from repro.traces.model import TraceBuilder
+
+    if args.live:
+        if args.replay:
+            print("repro serve: --live and --replay are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        if not args.ingest:
+            print("repro serve: --live needs --ingest SOCKET", file=sys.stderr)
+            return 2
+        if args.accel <= 0:
+            print("repro serve: --live needs --accel > 0 (wall-clock pacing)",
+                  file=sys.stderr)
+            return 2
+        trace = TraceBuilder("live", num_extents=args.extents).build()
+        args.prime = False  # nothing to prime heat from; observe instead
+    elif args.replay:
+        trace = load_trace(args.replay)
+    else:
+        trace = _resolve_trace(args)
+    config = _array_config(args, trace.num_extents)
+    goal = args.goal_ms / 1e3 if args.goal_ms is not None else None
+    policy, policy_config = _build_policy(args.policy, args, trace, config)
+    sim = ArraySimulation(
+        trace, policy_config, policy, goal_s=goal,
+        observe=bool(args.trace_out), faults=_load_faults(args),
+        live=args.live,
+    )
+    daemon = ServeDaemon(
+        sim, args.control,
+        accel=args.accel,
+        ingest_path=args.ingest if args.live else None,
+        trace_out=args.trace_out,
+        exit_on_drain=args.exit_on_drain,
+    )
+    mode = "live" if args.live else f"replay of {trace.name} ({len(trace)} requests)"
+    print(f"serving {mode} at accel={args.accel:g}; control socket {args.control}",
+          file=sys.stderr)
+    result = daemon.serve()
+    if args.trace_out:
+        print(f"wrote {daemon.trace_lines} trace event(s) to {args.trace_out}",
+              file=sys.stderr)
+    if args.json:
+        from repro.analysis.export import result_to_dict, write_json
+
+        write_json(result_to_dict(result), sys.stdout)
+        print()
+    else:
+        print(_result_block(result, None, result.goal_s))
+    return 0
+
+
+def cmd_ctl(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import ProtocolError
+
+    params: dict[str, object] = {}
+    if args.ctl_command == "set-goal":
+        if args.clear_goal:
+            params["goal_s"] = None
+        elif args.goal_ms is not None:
+            params["goal_s"] = args.goal_ms / 1e3
+        else:
+            print("repro ctl set-goal: need --goal-ms MS or --clear-goal",
+                  file=sys.stderr)
+            return 2
+    elif args.ctl_command == "inject-fault":
+        if not args.plan:
+            print("repro ctl inject-fault: need --plan PLAN.json", file=sys.stderr)
+            return 2
+        try:
+            with open(args.plan, "r", encoding="utf-8") as fh:
+                params["plan"] = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro ctl inject-fault: cannot read plan {args.plan}: {exc}",
+                  file=sys.stderr)
+            return 2
+        params["relative"] = not args.absolute
+    try:
+        with ServeClient.connect(args.control, retry_for_s=args.retry) as client:
+            data = client.command(args.ctl_command, **params)
+    except (OSError, ConnectionError) as exc:
+        print(f"repro ctl: cannot reach daemon at {args.control}: {exc}",
+              file=sys.stderr)
+        return 1
+    except ProtocolError as exc:
+        print(f"repro ctl: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(data, indent=2, sort_keys=True, allow_nan=False))
     return 0
 
 
@@ -748,6 +918,74 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--policies", default="base,hibernator",
                     help="comma-separated policy list (default base,hibernator)")
     fp.set_defaults(func=cmd_fleet_compare)
+
+    p = sub.add_parser(
+        "serve",
+        help="drive one simulation online behind a control socket",
+        description="Run the simulator as a daemon (see docs/serve.md): "
+                    "replay a trace (as fast as possible at --accel 0, "
+                    "wall-clock paced at --accel N) or serve a live "
+                    "request feed (--live with --ingest), while a control "
+                    "socket accepts status / set-goal / inject-fault / "
+                    "force-boost / shutdown commands (drive it with "
+                    "'repro ctl'). At --accel 0 the replay result is "
+                    "byte-identical to 'repro run' on the same trace.",
+    )
+    _add_trace_source(p)
+    _add_array_options(p)
+    p.add_argument("--control", required=True,
+                   help="AF_UNIX control socket path (created; stale "
+                        "sockets are replaced)")
+    p.add_argument("--replay", help="trace file to replay (alternative to "
+                                    "the synthetic-trace options)")
+    p.add_argument("--live", action="store_true",
+                   help="serve a live request stream instead of a trace "
+                        "(needs --ingest and --accel > 0)")
+    p.add_argument("--ingest", help="AF_UNIX socket for the live request "
+                                    "feed (one JSON request per line)")
+    p.add_argument("--accel", type=float, default=0.0,
+                   help="simulated seconds per wall-clock second; 0 = "
+                        "as-fast-as-possible deterministic replay "
+                        "(default 0)")
+    p.add_argument("--goal-ms", type=float, default=None,
+                   help="mean response-time goal in ms")
+    p.add_argument("--exit-on-drain", action="store_true",
+                   help="exit when the replay workload drains instead of "
+                        "waiting for a shutdown command")
+    p.add_argument("--policy", choices=POLICY_NAMES, default="hibernator")
+    p.add_argument("--epoch", type=float, default=600.0, help="epoch/period seconds")
+    p.add_argument("--migration", choices=("shuffle", "sorted", "none"),
+                   default="shuffle")
+    p.add_argument("--no-prime", dest="prime", action="store_false",
+                   help="skip heat priming (start with an observation epoch)")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    _add_faults_option(p)
+    _add_trace_out(p)
+    p.set_defaults(func=cmd_serve, prime=True)
+
+    p = sub.add_parser(
+        "ctl",
+        help="send one command to a running serve daemon",
+        description="Client for the 'repro serve' control socket. Prints "
+                    "the daemon's JSON response; exits 1 when the daemon "
+                    "is unreachable or refuses the command.",
+    )
+    p.add_argument("ctl_command", choices=CTL_COMMANDS, metavar="command",
+                   help=f"one of: {', '.join(CTL_COMMANDS)}")
+    p.add_argument("--control", required=True, help="daemon control socket path")
+    p.add_argument("--goal-ms", type=float, default=None,
+                   help="set-goal: new goal in ms")
+    p.add_argument("--clear-goal", action="store_true",
+                   help="set-goal: remove the goal entirely")
+    p.add_argument("--plan", help="inject-fault: JSON fault plan file "
+                                  "(docs/faults.md schema)")
+    p.add_argument("--absolute", action="store_true",
+                   help="inject-fault: plan times are absolute simulated "
+                        "seconds (default: offsets from now)")
+    p.add_argument("--retry", type=float, default=5.0,
+                   help="seconds to retry connecting while the daemon "
+                        "starts (default 5)")
+    p.set_defaults(func=cmd_ctl)
 
     p = sub.add_parser("trace", help="render a structured event trace (JSONL)")
     p.add_argument("trace_file", help="JSONL file written via --trace-out")

@@ -48,7 +48,7 @@ from repro.core.temperature import HeatTracker
 from repro.obs.events import EpochBoundary
 from repro.policies.base import PowerPolicy
 from repro.sim.request import Request
-from repro.sim.stats import OnlineStats
+from repro.sim.stats import DeficitTracker, OnlineStats
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.sim.runner import ArraySimulation
@@ -266,6 +266,53 @@ class HibernatorPolicy(PowerPolicy):
             self.boost.set_degraded(False)
         self._reconfigure(instant=False, record=False)
 
+    # -- online control hooks (repro serve) ----------------------------------
+
+    def on_goal_changed(self, goal_s: float | None) -> None:
+        """Rebuild the guarantee machinery around the new goal.
+
+        Tightening or loosening the goal restarts the deficit from zero
+        (overshoots against the old goal are not debts against the new
+        one); clearing the goal retires the boost controller after
+        closing its time accounting. An active boost is left boosted —
+        the next epoch boundary re-evaluates exit against the new goal,
+        exactly as it would after any other deficit reset.
+        """
+        sim = self.sim
+        assert sim is not None
+        now = sim.engine.now
+        if goal_s is None:
+            if self.boost is not None:
+                self.boost.finish(now)
+                self.metrics.gauge("boost_seconds").set(self.boost.boost_seconds)
+                self.boost = None
+            return
+        if self.boost is None:
+            self.boost = BoostController(goal_s, self.config.guarantee)
+            self.boost.emit = sim.emit
+            self.boost.set_degraded(self._rebuilding)
+            self.metrics.counter("boosts")
+            self.metrics.gauge("boost_seconds")
+            self.metrics.gauge("final_deficit_s")
+        else:
+            self.boost.tracker = DeficitTracker(goal_s)
+
+    def force_boost(self, now: float) -> bool:
+        """Operator-forced boost: same entry path the deficit takes."""
+        if self.boost is None or self.boost.boosted:
+            return False
+        self.boost.enter_boost(now)
+        self.metrics.counter("boosts").inc()
+        self._boost_speeds()
+        if self.executor is not None:
+            self.executor.cancel()
+        return True
+
+    def current_assignment(self) -> str | None:
+        if self.assignment is None:
+            return None
+        return self.assignment.describe()
+
     def on_finish(self, now: float) -> None:
         if self.boost is not None:
             self.boost.finish(now)
@@ -287,7 +334,7 @@ class HibernatorPolicy(PowerPolicy):
         self._reconfigure(instant=False)
         if self.config.adaptive_epochs:
             self._adapt_epoch_length(previous, boosts_before)
-        if sim._next_index < len(sim.trace) or sim._outstanding > 0:
+        if sim.workload_open:
             sim.engine.schedule_after(self._current_epoch_s, self._epoch_boundary)
 
     def _adapt_epoch_length(self, previous_boundaries, boosts_before: int) -> None:

@@ -19,6 +19,7 @@ from repro.faults.plan import (
     fault_plan_to_dict,
     load_fault_plan,
     save_fault_plan,
+    shift_fault_plan,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "fault_plan_to_dict",
     "load_fault_plan",
     "save_fault_plan",
+    "shift_fault_plan",
 ]

@@ -82,6 +82,20 @@ class DiskFaultState:
                 factor = max(factor, window.factor)
         return factor
 
+    def extend(
+        self,
+        transients: tuple[TransientFault, ...],
+        slows: tuple[SlowDiskFault, ...],
+    ) -> None:
+        """Append windows from a runtime-injected plan.
+
+        The existing RNG keeps drawing — draws already made are history,
+        and new windows join the same per-disk stream, so a given
+        command sequence replays deterministically.
+        """
+        self._transients += transients
+        self._slows += slows
+
 
 class FaultInjector:
     """Schedules a plan's faults and coordinates the array's reaction."""
@@ -137,6 +151,58 @@ class FaultInjector:
                     f"fault plan fails disk {failure.disk}, but the array "
                     f"has {self.array.num_disks} disks"
                 )
+            self.engine.schedule(failure.time_s, self._fail, failure.disk)
+
+    def add_plan(self, plan: FaultPlan) -> None:
+        """Install another plan mid-run (the serve ``inject-fault`` path).
+
+        Times are *absolute* simulated seconds and must not lie in the
+        past — the engine clock cannot rewind (use
+        :func:`repro.faults.plan.shift_fault_plan` to rebase a relative
+        plan). The run's original rebuild/retry knobs stay in force: a
+        runtime plan adds faults, it does not renegotiate how the array
+        reacts to them. A disk already failed (or failed twice across
+        plans) no-ops, same as within one plan's schedule.
+        """
+        if not self._installed:
+            raise RuntimeError("add_plan() before install()")
+        if plan.empty:
+            return
+        now = self.engine.now
+        for failure in plan.disk_failures:
+            if not 0 <= failure.disk < self.array.num_disks:
+                raise ValueError(
+                    f"fault plan fails disk {failure.disk}, but the array "
+                    f"has {self.array.num_disks} disks"
+                )
+            if failure.time_s < now:
+                raise ValueError(
+                    f"disk {failure.disk} failure at t={failure.time_s} is in "
+                    f"the past (now={now}); shift the plan forward"
+                )
+        if plan.transient_faults or plan.slow_disk_faults:
+            child_seeds = np.random.SeedSequence(plan.seed).spawn(self.array.num_disks)
+            for i, disk in enumerate(self.array.disks):
+                transients = tuple(
+                    w for w in plan.transient_faults
+                    if w.disks is None or i in w.disks
+                )
+                slows = tuple(
+                    w for w in plan.slow_disk_faults
+                    if w.disks is None or i in w.disks
+                )
+                if not (transients or slows):
+                    continue
+                if disk.fault_state is None:
+                    disk.fault_state = DiskFaultState(
+                        retry=self.plan.retry,
+                        transients=transients,
+                        slows=slows,
+                        rng=np.random.default_rng(child_seeds[i]),
+                    )
+                else:
+                    disk.fault_state.extend(transients, slows)
+        for failure in plan.disk_failures:
             self.engine.schedule(failure.time_s, self._fail, failure.disk)
 
     def _fail(self, disk: int) -> None:

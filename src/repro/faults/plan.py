@@ -134,6 +134,36 @@ class FaultPlan:
         return not (self.disk_failures or self.transient_faults or self.slow_disk_faults)
 
 
+def shift_fault_plan(plan: FaultPlan, offset_s: float) -> FaultPlan:
+    """Return a copy of ``plan`` with every fault time moved by ``offset_s``.
+
+    The serve daemon's ``inject-fault`` path: an operator writes a plan
+    with times relative to "now" (fail disk 2 in 60 seconds) and the
+    daemon rebases it onto absolute simulated time before handing it to
+    the running injector. Windows shift whole; the retry/rebuild knobs
+    and the seed are untouched.
+    """
+    if offset_s < 0:
+        raise ValueError(f"offset_s must be >= 0, got {offset_s}")
+    if plan.empty or offset_s == 0.0:
+        return plan
+    return dataclasses.replace(
+        plan,
+        disk_failures=tuple(
+            dataclasses.replace(f, time_s=f.time_s + offset_s)
+            for f in plan.disk_failures
+        ),
+        transient_faults=tuple(
+            dataclasses.replace(w, start_s=w.start_s + offset_s, end_s=w.end_s + offset_s)
+            for w in plan.transient_faults
+        ),
+        slow_disk_faults=tuple(
+            dataclasses.replace(w, start_s=w.start_s + offset_s, end_s=w.end_s + offset_s)
+            for w in plan.slow_disk_faults
+        ),
+    )
+
+
 def fault_plan_to_dict(plan: FaultPlan) -> dict[str, Any]:
     """Flatten a plan into the JSON mapping ``--faults`` reads."""
     return dataclasses.asdict(plan)

@@ -39,6 +39,7 @@ _OBS_SCOPES = (
     "repro.policies",
     "repro.faults",
     "repro.fleet",
+    "repro.serve",
 )
 
 _EMITTING_CACHE_KEY = "obspairing.emitting_functions"

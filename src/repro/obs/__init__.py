@@ -28,13 +28,16 @@ from repro.obs.events import (
     RequestFailed,
     RunEnd,
     RunStart,
+    ServeBoostForced,
+    ServeFaultInjected,
+    ServeGoalChanged,
     SpeedTransition,
     TraceEvent,
     event_from_dict,
     event_to_dict,
 )
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
-from repro.obs.tracelog import TraceLog, read_jsonl, split_runs, write_jsonl
+from repro.obs.tracelog import JsonlWriter, TraceLog, read_jsonl, split_runs, write_jsonl
 
 # The rendering layer pulls in repro.analysis, which imports the
 # instrumented runner — which imports this package. Resolve lazily so the
@@ -55,6 +58,7 @@ __all__ = [
     "Counter",
     "EpochBoundary",
     "Gauge",
+    "JsonlWriter",
     "MetricsRegistry",
     "MigrationCancelled",
     "MigrationMove",
@@ -62,6 +66,9 @@ __all__ = [
     "RequestFailed",
     "RunEnd",
     "RunStart",
+    "ServeBoostForced",
+    "ServeFaultInjected",
+    "ServeGoalChanged",
     "SpeedTransition",
     "Timer",
     "TraceEvent",

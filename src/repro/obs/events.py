@@ -294,6 +294,40 @@ class FleetRunEnd(TraceEvent):
     kind: ClassVar[str] = "fleet_run_end"
 
 
+@_register
+@dataclass(frozen=True)
+class ServeGoalChanged(TraceEvent):
+    """A ``set-goal`` control command changed the goal mid-run."""
+
+    old_goal_s: float | None
+    new_goal_s: float | None
+
+    kind: ClassVar[str] = "serve_goal_changed"
+
+
+@_register
+@dataclass(frozen=True)
+class ServeFaultInjected(TraceEvent):
+    """An ``inject-fault`` control command installed a plan mid-run."""
+
+    disk_failures: int
+    transient_faults: int
+    slow_disk_faults: int
+
+    kind: ClassVar[str] = "serve_fault_injected"
+
+
+@_register
+@dataclass(frozen=True)
+class ServeBoostForced(TraceEvent):
+    """A ``force-boost`` control command entered the boost by hand."""
+
+    #: False when the policy refused (no boost mechanism / already boosted).
+    entered: bool
+
+    kind: ClassVar[str] = "serve_boost_forced"
+
+
 def event_to_dict(event: TraceEvent) -> dict[str, Any]:
     """Flatten an event into a JSON-safe dict (``event`` key = kind tag)."""
     out: dict[str, Any] = {"event": event.kind}
@@ -319,5 +353,11 @@ def event_from_dict(data: dict[str, Any]) -> TraceEvent:
         value = data[f.name]
         if isinstance(value, list):
             value = tuple(value)
+        elif value is None and f.type == "float":
+            # Strict-JSON traces store non-finite floats as null
+            # (repro.obs.tracelog); a required-float field can only be
+            # null because it held NaN, so restore it. Optional floats
+            # ("float | None") keep None — their null means absent.
+            value = float("nan")
         kwargs[f.name] = value
     return cls(**kwargs)

@@ -25,6 +25,7 @@ name with a different type is a bug and raises.
 
 from __future__ import annotations
 
+import math
 from typing import TypeVar
 
 
@@ -128,3 +129,24 @@ class MetricsRegistry:
     def as_dict(self) -> dict[str, float]:
         """Flatten every instrument to ``{name: value}``, sorted by name."""
         return {name: self._instruments[name].value for name in sorted(self._instruments)}
+
+    def snapshot(self) -> dict[str, dict[str, float | int | str | None]]:
+        """Typed view of every instrument, sorted by name.
+
+        The serve daemon's ``status`` payload: unlike :meth:`as_dict`
+        this keeps the instrument type (and a timer's observation count)
+        so a dashboard can render counters and gauges differently.
+        Values are JSON-strict: non-finite floats become None.
+        """
+        out: dict[str, dict[str, float | int | str | None]] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            value = instrument.value
+            entry: dict[str, float | int | str | None] = {
+                "type": type(instrument).__name__.lower(),
+                "value": value if math.isfinite(value) else None,
+            }
+            if isinstance(instrument, Timer):
+                entry["count"] = instrument.count
+            out[name] = entry
+        return out

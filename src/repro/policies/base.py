@@ -68,6 +68,32 @@ class PowerPolicy(abc.ABC):
     def on_rebuild_complete(self) -> None:
         """Called when every extent of every failed disk is re-protected."""
 
+    # -- online control hooks (repro serve) ----------------------------------
+
+    def on_goal_changed(self, goal_s: float | None) -> None:
+        """Called after the run's response-time goal changed mid-run.
+
+        The simulation has already swapped its own deficit tracker by the
+        time this fires (:meth:`ArraySimulation.set_goal`). Goal-aware
+        policies react here — rebuild their guarantee machinery, re-plan
+        at the next opportunity. Default: ignore, which is correct for
+        goal-oblivious policies.
+        """
+
+    def force_boost(self, now: float) -> bool:
+        """Operator-forced full-speed boost (serve ``force-boost``).
+
+        Returns True when a boost was entered, False when the policy has
+        no boost mechanism or is already boosted. Default: no mechanism.
+        """
+        return False
+
+    def current_assignment(self) -> str | None:
+        """One-line description of the current speed assignment, if the
+        policy maintains one (serve ``status``). Default: None.
+        """
+        return None
+
     def describe(self) -> str:
         """One-line parameterization string for reports."""
         return self.name

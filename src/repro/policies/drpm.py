@@ -86,7 +86,7 @@ class DrpmPolicy(PowerPolicy):
             self._decide()
             self._queue_sums = [0.0] * sim.array.num_disks
             self._samples_taken = 0
-        if sim._next_index < len(sim.trace) or sim._outstanding > 0:
+        if sim.workload_open:
             sim.engine.schedule_after(interval, self._sample, interval)
 
     def _decide(self) -> None:

@@ -101,7 +101,7 @@ class PdcPolicy(PowerPolicy):
             self.executor.cancel()
         if plan.num_moves:
             self.executor.start(plan)
-        if sim._next_index < len(sim.trace) or sim._outstanding > 0:
+        if sim.workload_open:
             sim.engine.schedule_after(self.config.period_s, self._period_boundary)
 
     def _plan_concentration(self) -> MigrationPlan:

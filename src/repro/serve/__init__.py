@@ -1,0 +1,46 @@
+"""The live control plane: ``repro serve``.
+
+The paper's Hibernator is an *online* controller — it watches a live
+request stream and re-solves speed assignments at epoch boundaries — but
+the rest of this repo drives it from pre-materialized traces in one
+batch call. This package runs the same Engine/ArraySimulation machinery
+as a long-lived daemon:
+
+* :mod:`repro.serve.daemon` — the single-threaded event loop: paces the
+  simulation against the wall clock (or flat out for replay), accepts a
+  line-delimited JSON request feed (live mode), and answers a control
+  protocol over a local socket;
+* :mod:`repro.serve.protocol` — the NDJSON control message schema shared
+  by daemon, client and tests;
+* :mod:`repro.serve.client` — a tiny blocking client used by
+  ``repro ctl`` and the test suite.
+
+Determinism: replay mode at ``--accel 0`` issues only
+``step(max_events=N)`` chunks — the simulated clock never fast-forwards
+to a wall-derived horizon — so the event sequence, and therefore the
+result digest, is byte-identical to the batch runner's for the same
+spec. Any wall-clock pacing (``--accel N``, live mode) trades that away
+by construction; see ``docs/serve.md``.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeDaemon
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeDaemon",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "ok_response",
+]

@@ -100,6 +100,13 @@ class SimulationResult:
 class ArraySimulation:
     """One trace replay against one array under one policy.
 
+    The classic entry point is the one-shot :meth:`run`. The serve
+    daemon (:mod:`repro.serve`) instead drives the same machinery
+    incrementally: :meth:`begin` once, :meth:`step` as often as its
+    pacing loop likes, :meth:`finalize` at the end. ``run()`` is exactly
+    ``begin() + step() + finalize()``, so both driving modes execute the
+    identical event sequence and produce byte-identical results.
+
     Args:
         trace: workload to replay.
         array_config: array shape/hardware.
@@ -119,6 +126,12 @@ class ArraySimulation:
             byte-identical to a fault-free one. Faults scheduled past
             the trace's drain point never fire — the accounting window
             is bounded by the workload, exactly as for periodic timers.
+        live: the run may receive requests beyond the trace columns via
+            :meth:`inject_request` (serve live mode). Periodic machinery
+            (samplers, epoch boundaries) keeps rescheduling while the
+            stream is open even after the trace itself is exhausted; see
+            :attr:`workload_open`. False for every batch run, in which
+            case behaviour is untouched.
     """
 
     def __init__(
@@ -131,6 +144,7 @@ class ArraySimulation:
         keep_latency_samples: bool = True,
         observe: bool = False,
         faults: FaultPlan | None = None,
+        live: bool = False,
     ) -> None:
         self.trace = trace
         # Column pre-extraction: replaying through Trace.__getitem__ costs
@@ -175,7 +189,14 @@ class ArraySimulation:
         self._next_index = 0
         self._outstanding = 0
         self._ran = False
+        self._finalized = False
         self.failed_requests = 0
+        self.live = live
+        #: Requests submitted via :meth:`inject_request` (serve live mode).
+        self.injected_requests = 0
+        self._halted = False
+        self._drain_complete = False
+        self._wall_s = 0.0
         # Fault injection: an empty plan is normalized to None so that
         # FaultPlan() and faults=None take the exact same (hook-free)
         # code path.
@@ -191,6 +212,11 @@ class ArraySimulation:
             self.engine.schedule_fast(self._times[i], self._arrive)
 
     def _arrive(self) -> None:
+        if self._halted:
+            # Graceful shutdown: the arrival chain is broken here (fast
+            # events cannot be cancelled), so no further trace requests
+            # are submitted while in-flight ones drain.
+            return
         i = self._next_index
         self._next_index = i + 1
         # arrival is the scheduled time, which is exactly engine.now when
@@ -239,7 +265,7 @@ class ArraySimulation:
         self._speed_samples.append((self.engine.now, mean_rpm, spinning))
         watts = sum(d.meter.watts for d in self.array.disks)
         self._power_samples.append((self.engine.now, watts))
-        if self._next_index < self._trace_len or self._outstanding > 0:
+        if self.workload_open:
             assert self._window_s is not None
             self.engine.schedule_after_fast(self._window_s, self._sample_speeds)
 
@@ -262,12 +288,42 @@ class ArraySimulation:
     def _drained(self) -> bool:
         return self._next_index >= self._trace_len and self._outstanding == 0
 
-    # -- main entry -----------------------------------------------------------
+    @property
+    def workload_open(self) -> bool:
+        """More foreground work can still arrive.
 
-    def run(self) -> SimulationResult:
-        """Replay the trace to completion and return the metrics."""
+        Periodic machinery (the sampler, epoch boundaries, policy
+        timers) keys rescheduling off this: in batch mode it is exactly
+        "trace remains or requests are in flight"; in live mode the
+        stream stays open until :meth:`halt_arrivals`.
+        """
+        if self.live and not self._halted:
+            return True
+        return self._next_index < self._trace_len or self._outstanding > 0
+
+    @property
+    def drain_complete(self) -> bool:
+        """True once :meth:`step` has delivered everything a batch
+        ``run()`` would have executed (workload drained, loop stopped)."""
+        return self._drain_complete
+
+    @property
+    def outstanding(self) -> int:
+        """Foreground requests currently in flight."""
+        return self._outstanding
+
+    @property
+    def trace_remaining(self) -> int:
+        """Trace requests not yet submitted."""
+        return self._trace_len - self._next_index
+
+    # -- main entries ---------------------------------------------------------
+
+    def begin(self) -> None:
+        """Set up the run: attach the policy, install faults, prime the
+        event loop. Call once; :meth:`run` does it for you."""
         if self._ran:
-            raise RuntimeError("ArraySimulation.run() is single-shot; build a new one")
+            raise RuntimeError("ArraySimulation is single-shot; build a new one")
         self._ran = True
         self.policy.attach(self)
         if self.faults is not None:
@@ -292,15 +348,167 @@ class ArraySimulation:
         self._schedule_next_arrival()
         if self._window_s is not None:
             self.engine.schedule_fast(0.0, self._sample_speeds)
-        # Stop as soon as every foreground request has completed:
-        # lingering periodic timers (epoch boundaries, idle timers,
-        # samplers) must not stretch the energy-accounting window.
+
+    def step(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_on_drain: bool = True,
+    ) -> int:
+        """Advance the simulation and return the events executed.
+
+        With ``stop_on_drain`` (the default, batch semantics) the loop
+        exits as soon as every foreground request has completed —
+        lingering periodic timers must not stretch the energy-accounting
+        window — and later calls are no-ops, so any chunking of ``step``
+        calls executes the exact event sequence one un-chunked call
+        would. ``stop_on_drain=False`` is the live-mode variant: the
+        clock may fast-forward to ``until`` so wall-clock-paced epochs
+        keep firing while the request stream is idle.
+        """
+        if stop_on_drain and self._drain_complete:
+            return 0
         # The wall clock feeds the runtime_* gauges only, never a
         # simulation result; see test_observe_parity.
         # repro: lint-ok[DET003] wall-clock instrumentation, not a result input
         wall_start = time.perf_counter()
-        self.engine.run(stop=self._drained)
-        wall_s = time.perf_counter() - wall_start  # repro: lint-ok[DET003] instrumentation only
+        executed = self.engine.run(
+            until=until,
+            max_events=max_events,
+            stop=self._drained if stop_on_drain else None,
+        )
+        self._wall_s += time.perf_counter() - wall_start  # repro: lint-ok[DET003] instrumentation only
+        if stop_on_drain and self._drained():
+            # The stop predicate fired (or would fire on the very next
+            # callback): everything a one-shot run() executes has run.
+            self._drain_complete = True
+        return executed
+
+    def run(self) -> SimulationResult:
+        """Replay the trace to completion and return the metrics."""
+        self.begin()
+        self.step()
+        return self.finalize()
+
+    # -- serve-mode controls --------------------------------------------------
+
+    def halt_arrivals(self) -> None:
+        """Stop submitting new foreground requests (graceful shutdown).
+
+        Trace arrivals already in the heap return without submitting;
+        in-flight requests keep draining. Irreversible.
+        """
+        self._halted = True
+
+    def drain_in_flight(self) -> int:
+        """Run the engine only until every in-flight request completes.
+
+        The serve daemon's shutdown path: after :meth:`halt_arrivals`,
+        this delivers the completions already under way without starting
+        anything new. Returns the events executed.
+        """
+        if self._outstanding == 0:
+            return 0
+        return self.engine.run(stop=lambda: self._outstanding == 0)
+
+    def inject_request(
+        self,
+        kind: IoKind,
+        extent: int,
+        offset: int = 0,
+        size: int = 4096,
+    ) -> int:
+        """Submit one foreground request from outside the trace columns.
+
+        The serve daemon's live-ingest path. The request arrives *now*
+        (request ids continue past the trace's), feeds the policy hooks
+        and the latency/deficit accounting exactly like a trace arrival,
+        and counts toward ``num_requests`` on completion. Returns the
+        request id.
+        """
+        if self._halted:
+            raise RuntimeError("simulation is halted; no new requests accepted")
+        if not 0 <= extent < self.array.num_extents:
+            raise ValueError(
+                f"extent {extent} outside the volume [0, {self.array.num_extents})"
+            )
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        req_id = self._trace_len + self.injected_requests
+        self.injected_requests += 1
+        request = Request(
+            req_id=req_id,
+            arrival=self.engine.now,
+            kind=kind,
+            extent=extent,
+            offset=offset,
+            size=size,
+        )
+        self._outstanding += 1
+        self._on_arrival(request)
+        self._array_submit(request, self._complete)
+        return req_id
+
+    def set_goal(self, goal_s: float | None) -> None:
+        """Change (or clear) the response-time goal mid-run.
+
+        The deficit accounting restarts under the new goal — mixing
+        per-request overshoots measured against two different goals
+        would make the cumulative figure meaningless — and the policy is
+        told via :meth:`~repro.policies.base.PowerPolicy.on_goal_changed`
+        so goal-aware controllers (the boost, the CR optimizer's next
+        epoch solve) act on it online.
+        """
+        if goal_s is not None and goal_s <= 0:
+            raise ValueError(f"goal must be positive, got {goal_s!r}")
+        self.goal_s = goal_s
+        self.deficit = DeficitTracker(goal_s) if goal_s is not None else None
+        self.policy.on_goal_changed(goal_s)
+
+    def inject_faults(self, plan: FaultPlan) -> None:
+        """Install an additional fault plan mid-run (serve control path).
+
+        Plan times must already be absolute simulated seconds at or
+        after ``engine.now`` (the serve daemon shifts relative plans via
+        :func:`repro.faults.plan.shift_fault_plan`). The first injected
+        plan's rebuild knobs govern if the run started fault-free.
+        """
+        if plan.empty:
+            return
+        if self.injector is None:
+            # Validate before install(): install attaches per-disk fault
+            # state as it goes, so a late rejection would leave the plan
+            # half-applied. (add_plan does its own up-front validation.)
+            now = self.engine.now
+            for failure in plan.disk_failures:
+                if not 0 <= failure.disk < self.array.num_disks:
+                    raise ValueError(
+                        f"fault plan fails disk {failure.disk}, but the "
+                        f"array has {self.array.num_disks} disks"
+                    )
+                if failure.time_s < now:
+                    raise ValueError(
+                        f"disk {failure.disk} failure at t={failure.time_s} "
+                        f"is in the past (now={now}); shift the plan forward"
+                    )
+            self.injector = FaultInjector(
+                self.engine, self.array, plan, self.policy,
+            )
+            self.injector.install()
+        else:
+            self.injector.add_plan(plan)
+
+    # -- result assembly ------------------------------------------------------
+
+    def finalize(self) -> SimulationResult:
+        """Close accounting and assemble the result. Call once, after
+        the workload drained (or the serve daemon drained in-flight)."""
+        if not self._ran:
+            raise RuntimeError("finalize() before begin()")
+        if self._finalized:
+            raise RuntimeError("finalize() is single-shot")
+        self._finalized = True
+        wall_s = self._wall_s
         events = self.engine.events_executed
         end = max(self.engine.now, self.trace.duration)
         self.policy.on_finish(end)

@@ -62,6 +62,29 @@ def test_write_json_to_stream(result):
     assert json.loads(buf.getvalue())["policy"] == "Base"
 
 
+def test_write_json_sanitizes_nested_nan():
+    # extras gauges (and anything else result_to_dict passes through
+    # whole) can carry NaN/inf; the writer must emit null, never a bare
+    # NaN literal that strict parsers reject.
+    data = {
+        "extras": {"window_mean": float("nan"), "peak": float("inf")},
+        "series": [1.0, float("nan"), [float("-inf")]],
+        "fine": 2.5,
+    }
+    buf = io.StringIO()
+    write_json(data, buf)
+    text = buf.getvalue()
+    assert "NaN" not in text and "Infinity" not in text
+
+    def reject(const):
+        raise ValueError(f"non-strict literal {const!r}")
+
+    back = json.loads(text, parse_constant=reject)
+    assert back["extras"] == {"window_mean": None, "peak": None}
+    assert back["series"] == [1.0, None, [None]]
+    assert back["fine"] == 2.5
+
+
 class TestComparisonExport:
     @pytest.fixture(scope="class")
     def comparison(self):

@@ -111,9 +111,82 @@ class TestTraceLog:
         assert read_jsonl(buf) == events
 
     def test_read_jsonl_reports_bad_line(self):
-        buf = io.StringIO('{"event": "boost_enter", "time": 1.0, "deficit_s": 0.0}\nnot json\n')
+        # A malformed line with valid lines after it is corruption, not a
+        # torn write: it still raises with the line number.
+        buf = io.StringIO(
+            'not json\n'
+            '{"event": "boost_enter", "time": 1.0, "deficit_s": 0.0}\n'
+        )
+        with pytest.raises(ValueError, match="line 1"):
+            read_jsonl(buf)
+
+    def test_read_jsonl_skips_torn_last_line(self):
+        # A final line that is not valid JSON is the signature of a write
+        # interrupted mid-line (crash, SIGKILL); the intact prefix stays
+        # readable and the tail is skipped with a warning.
+        buf = io.StringIO(
+            '{"event": "boost_enter", "time": 1.0, "deficit_s": 0.0}\n'
+            '{"event": "boost_exit", "time": 2.0, "defi'
+        )
+        with pytest.warns(UserWarning, match="torn final trace line 2"):
+            events = read_jsonl(buf)
+        assert [e.kind for e in events] == ["boost_enter"]
+
+    def test_read_jsonl_semantic_bad_last_line_still_raises(self):
+        # Valid JSON with an unknown kind is schema drift, not a torn
+        # write — it must not be silently skipped.
+        buf = io.StringIO(
+            '{"event": "boost_enter", "time": 1.0, "deficit_s": 0.0}\n'
+            '{"event": "nope", "time": 2.0}\n'
+        )
         with pytest.raises(ValueError, match="line 2"):
             read_jsonl(buf)
+
+    def test_nan_field_round_trips_as_null(self):
+        # Empty latency windows produce NaN gauges; strict JSON has no
+        # NaN literal, so the writer must emit null and the reader must
+        # restore NaN for float-typed fields.
+        import math
+
+        events = [BoostEnter(time=1.0, deficit_s=float("nan"))]
+        buf = io.StringIO()
+        write_jsonl(events, buf)
+        text = buf.getvalue()
+        assert "NaN" not in text and "null" in text
+        buf.seek(0)
+        (back,) = read_jsonl(buf)
+        assert isinstance(back, BoostEnter)
+        assert math.isnan(back.deficit_s)
+
+    def test_optional_float_field_keeps_null(self):
+        # goal_s is declared `float | None`: a null there means "no
+        # goal", not a sanitized NaN, and must stay None on read.
+        event = RunStart(time=0.0, trace_name="t", policy_name="A",
+                         policy_params="", goal_s=None, num_disks=2,
+                         num_extents=8, initial_rpm=(15000, 15000))
+        buf = io.StringIO()
+        write_jsonl([event], buf)
+        buf.seek(0)
+        (back,) = read_jsonl(buf)
+        assert back.goal_s is None
+
+    def test_jsonl_writer_incremental(self, tmp_path):
+        from repro.obs.tracelog import JsonlWriter
+
+        path = tmp_path / "incr.jsonl"
+        with JsonlWriter(path) as writer:
+            writer.write(BoostEnter(time=1.0, deficit_s=0.1))
+            writer.flush()
+            # Flushed lines are complete and readable mid-run.
+            with open(path) as fh:
+                assert read_jsonl(fh) == [BoostEnter(time=1.0, deficit_s=0.1)]
+            writer.write(BoostExit(time=2.0, deficit_s=-0.1, boost_seconds_total=1.0))
+        assert writer.lines == 2
+        writer.close()  # idempotent
+        with open(path) as fh:
+            assert len(read_jsonl(fh)) == 2
+        with pytest.raises(ValueError):
+            writer.write(BoostEnter(time=3.0, deficit_s=0.0))
 
     def test_split_runs(self):
         a = RunStart(time=0.0, trace_name="t", policy_name="A", policy_params="",
@@ -171,6 +244,21 @@ class TestMetricsRegistry:
         assert list(flat) == ["a", "b", "c"]
         assert flat == {"a": 1.0, "b": 1.0, "c": 0.25}
         assert all(type(v) is float for v in flat.values())
+
+    def test_snapshot_types_and_nan_null(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3.0)
+        reg.gauge("window_mean").set(float("nan"))
+        timer = reg.timer("svc")
+        timer.observe(0.5)
+        snap = reg.snapshot()
+        assert snap["hits"] == {"type": "counter", "value": 3.0}
+        assert snap["window_mean"] == {"type": "gauge", "value": None}
+        assert snap["svc"]["type"] == "timer" and snap["svc"]["count"] == 1
+        # The whole snapshot must survive strict JSON encoding.
+        import json
+
+        json.dumps(snap, allow_nan=False)
 
 
 class TestObservedRuns:

@@ -35,6 +35,8 @@ MODULES = [
     "repro.analysis.ascii_plot", "repro.analysis.export",
     "repro.obs", "repro.obs.events", "repro.obs.metrics",
     "repro.obs.tracelog", "repro.obs.summary",
+    "repro.serve", "repro.serve.protocol", "repro.serve.daemon",
+    "repro.serve.client",
     "repro.lint", "repro.lint.findings", "repro.lint.context",
     "repro.lint.registry", "repro.lint.engine", "repro.lint.reporters",
     "repro.lint.guard", "repro.lint.rules", "repro.lint.rules.determinism",

@@ -1,0 +1,374 @@
+"""Tests for the serve layer (repro.serve) and the incremental runner API.
+
+The contracts pinned here:
+
+1. **replay identity** — a quiet ``--accel 0`` replay through the daemon
+   executes the exact event sequence of the batch runner and produces a
+   byte-identical result digest (the acceptance bar in docs/serve.md);
+2. **online control** — mid-run ``set-goal`` / ``inject-fault`` /
+   ``force-boost`` over the control socket actually change the running
+   simulation, and each emits its paired audit event;
+3. **graceful shutdown** — ``shutdown`` drains in-flight requests and
+   finalizes the accounting; the streamed JSONL trace is strict JSON and
+   line-complete;
+4. **incremental stepping** — ``begin()/step()/finalize()`` compose to
+   exactly ``run()``, with single-shot guards and working
+   ``inject_request`` / ``set_goal`` / ``inject_faults`` hooks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.experiments import run_single
+from repro.core.hibernator import HibernatorConfig, HibernatorPolicy
+from repro.faults.plan import FaultPlan, TransientFault, fault_plan_from_dict, shift_fault_plan
+from repro.perf.digest import result_digest
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeDaemon, run_replay_quiet
+from repro.sim.request import IoKind
+from repro.sim.runner import ArraySimulation
+from repro.traces.model import TraceBuilder
+from tests.conftest import poisson_trace
+
+
+def hibernator_policy(epoch_s: float = 30.0) -> HibernatorPolicy:
+    return HibernatorPolicy(HibernatorConfig(epoch_seconds=epoch_s))
+
+
+def build_sim(small_config, *, goal_s=0.2, observe=False, live=False,
+              trace=None, policy=None):
+    if trace is None:
+        trace = (TraceBuilder("live", num_extents=80).build() if live
+                 else poisson_trace(rate=30.0, duration=90.0, seed=11))
+    if policy is None:
+        policy = hibernator_policy()
+    return ArraySimulation(trace, small_config, policy, goal_s=goal_s,
+                           observe=observe, live=live)
+
+
+class ServeThread:
+    """Run a daemon on a background thread; join on exit."""
+
+    def __init__(self, daemon: ServeDaemon) -> None:
+        self.daemon = daemon
+        self.result = None
+        self.error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        try:
+            self.result = self.daemon.serve()
+        except BaseException as exc:  # surfaced in join()
+            self.error = exc
+
+    def __enter__(self) -> "ServeThread":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        # Fail-safe: a test assertion that fires before the shutdown
+        # command would otherwise leave the daemon looping forever.
+        self.daemon._shutdown = True
+        self._thread.join(timeout=30.0)
+        if self._thread.is_alive():
+            raise RuntimeError("serve daemon did not exit")
+        if self.error is not None and exc == (None, None, None):
+            raise self.error
+
+
+def serving(small_config, tmp_path, *, accel=200.0, goal_s=0.2,
+            observe=False, live=False, trace_out=None):
+    """Daemon on a thread + connected client, as a context-manager pair."""
+    sim = build_sim(small_config, goal_s=goal_s, observe=observe, live=live)
+    daemon = ServeDaemon(
+        sim, tmp_path / "ctl.sock",
+        accel=accel,
+        ingest_path=(tmp_path / "feed.sock") if live else None,
+        trace_out=trace_out,
+        install_signal_handlers=False,
+    )
+    return sim, daemon
+
+
+class TestReplayIdentity:
+    def test_quiet_replay_matches_batch_digest(self, small_config, tmp_path):
+        trace = poisson_trace(rate=30.0, duration=120.0, seed=11)
+        batch = run_single(trace, small_config, hibernator_policy(),
+                           goal_s=0.2, observe=True)
+        sim = ArraySimulation(trace, small_config, hibernator_policy(),
+                              goal_s=0.2, observe=True)
+        served = run_replay_quiet(sim, tmp_path / "ctl.sock")
+        assert result_digest(served) == result_digest(batch)
+        assert served.events == batch.events
+
+    def test_quiet_replay_matches_batch_without_goal(self, small_config, tmp_path):
+        trace = poisson_trace(rate=40.0, duration=60.0, seed=5)
+        batch = run_single(trace, small_config, AlwaysOnPolicy())
+        sim = ArraySimulation(trace, small_config, AlwaysOnPolicy())
+        served = run_replay_quiet(sim, tmp_path / "ctl.sock")
+        assert result_digest(served) == result_digest(batch)
+
+    def test_streamed_trace_is_strict_json(self, small_config, tmp_path):
+        out = tmp_path / "events.jsonl"
+        sim = build_sim(small_config, observe=True)
+        run_replay_quiet(sim, tmp_path / "ctl.sock", trace_out=out)
+
+        def reject(const):
+            raise ValueError(f"non-strict literal {const!r}")
+
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line, parse_constant=reject)
+        assert json.loads(lines[0])["event"] == "run_start"
+        assert json.loads(lines[-1])["event"] == "run_end"
+
+
+class TestControlProtocol:
+    def test_ping_status_round_trip(self, small_config, tmp_path):
+        sim, daemon = serving(small_config, tmp_path)
+        with ServeThread(daemon):
+            with ServeClient.connect(tmp_path / "ctl.sock") as client:
+                assert client.ping() == {"pong": True,
+                                         "version": protocol.PROTOCOL_VERSION}
+                status = client.status()
+                assert status["mode"] == "replay"
+                assert status["policy"] == "Hibernator"
+                assert status["goal_s"] == 0.2
+                assert status["trace_remaining"] >= 0
+                assert "sim" in status["metrics"] and "policy" in status["metrics"]
+                client.shutdown()
+
+    def test_unknown_and_malformed_commands_rejected(self, small_config, tmp_path):
+        sim, daemon = serving(small_config, tmp_path)
+        with ServeThread(daemon):
+            with ServeClient.connect(tmp_path / "ctl.sock") as client:
+                bad = client.request({"cmd": "explode"})
+                assert bad["ok"] is False and "unknown command" in bad["error"]
+                with pytest.raises(protocol.ProtocolError):
+                    client.command("set-goal")  # missing goal_s
+                # The daemon survives garbage and keeps serving.
+                assert client.ping()["pong"] is True
+                client.shutdown()
+
+    def test_set_goal_mid_run_changes_deficit_tracking(self, small_config, tmp_path):
+        sim, daemon = serving(small_config, tmp_path, observe=True)
+        with ServeThread(daemon) as st:
+            with ServeClient.connect(tmp_path / "ctl.sock") as client:
+                changed = client.set_goal(0.05)
+                assert changed == {"old_goal_s": 0.2, "goal_s": 0.05}
+                assert client.status()["goal_s"] == 0.05
+                cleared = client.set_goal(None)
+                assert cleared == {"old_goal_s": 0.05, "goal_s": None}
+                client.shutdown()
+        kinds = [e.kind for e in st.result.events]
+        assert kinds.count("serve_goal_changed") == 2
+        assert st.result.goal_s is None
+
+    def test_set_goal_creates_boost_machinery_from_none(self, small_config, tmp_path):
+        sim, daemon = serving(small_config, tmp_path, goal_s=None)
+        with ServeThread(daemon):
+            with ServeClient.connect(tmp_path / "ctl.sock") as client:
+                assert sim.policy.boost is None
+                client.set_goal(0.1)
+                assert sim.deficit is not None
+                assert sim.policy.boost is not None
+                client.shutdown()
+
+    def test_force_boost(self, small_config, tmp_path):
+        sim, daemon = serving(small_config, tmp_path, observe=True)
+        with ServeThread(daemon) as st:
+            with ServeClient.connect(tmp_path / "ctl.sock") as client:
+                first = client.force_boost()
+                assert first == {"entered": True}
+                # Already boosted: a second force is a no-op, not an error.
+                assert client.force_boost() == {"entered": False}
+                client.shutdown()
+        assert "serve_boost_forced" in [e.kind for e in st.result.events]
+        assert st.result.extras.get("boosts", 0) >= 1
+
+    def test_inject_fault_mid_run(self, small_config, tmp_path):
+        sim, daemon = serving(small_config, tmp_path, observe=True)
+        plan = {"seed": 5, "retry": {"max_attempts": 4, "backoff_s": 0.002},
+                "transient_faults": [
+                    {"start_s": 0.0, "end_s": 30.0, "probability": 0.5,
+                     "disks": [0, 1]}]}
+        with ServeThread(daemon) as st:
+            with ServeClient.connect(tmp_path / "ctl.sock") as client:
+                injected = client.inject_fault(plan)
+                assert injected["transient_faults"] == 1
+                client.shutdown()
+        kinds = [e.kind for e in st.result.events]
+        assert "serve_fault_injected" in kinds
+        # The fault-run extras only appear when an injector was installed.
+        assert "fault_op_errors" in st.result.extras
+
+    def test_empty_plan_rejected(self, small_config, tmp_path):
+        sim, daemon = serving(small_config, tmp_path)
+        with ServeThread(daemon):
+            with ServeClient.connect(tmp_path / "ctl.sock") as client:
+                with pytest.raises(protocol.ProtocolError, match="injects nothing"):
+                    client.inject_fault({"seed": 1})
+                client.shutdown()
+
+
+class TestShutdownDrains:
+    def test_shutdown_drains_in_flight_and_finalizes(self, small_config, tmp_path):
+        # A tiny accel keeps nearly the whole trace unserved at shutdown
+        # time, so the drain path has real in-flight work to finish.
+        sim, daemon = serving(small_config, tmp_path, accel=5.0)
+        with ServeThread(daemon) as st:
+            with ServeClient.connect(tmp_path / "ctl.sock") as client:
+                client.shutdown()
+        result = st.result
+        assert result is not None
+        assert sim.outstanding == 0
+        assert result.num_requests == sim.latency.n
+        # run_end bookkeeping happened: energy covers the full window.
+        assert result.sim_end > 0 and result.energy_joules > 0
+
+    def test_trace_file_line_complete_after_shutdown(self, small_config, tmp_path):
+        out = tmp_path / "events.jsonl"
+        sim, daemon = serving(small_config, tmp_path, accel=50.0,
+                              observe=True, trace_out=out)
+        with ServeThread(daemon) as st:
+            with ServeClient.connect(tmp_path / "ctl.sock") as client:
+                client.set_goal(0.1)
+                client.shutdown()
+        payload = [json.loads(line) for line in out.read_text().splitlines()]
+        assert payload[0]["event"] == "run_start"
+        assert payload[-1]["event"] == "run_end"
+        assert any(p["event"] == "serve_goal_changed" for p in payload)
+        assert len(payload) == len(st.result.events)
+
+
+class TestLiveMode:
+    def test_ingest_and_graceful_end(self, small_config, tmp_path):
+        sim, daemon = serving(small_config, tmp_path, accel=500.0, live=True)
+        with ServeThread(daemon) as st:
+            with ServeClient.connect(tmp_path / "feed.sock") as feed:
+                for i in range(10):
+                    reply = feed.request({"kind": "read", "extent": i, "size": 4096})
+                    assert reply["ok"] is True, reply
+                    assert reply["data"]["req_id"] == i
+                bad = feed.request({"kind": "read", "extent": 10_000})
+                assert bad["ok"] is False and "extent" in bad["error"]
+            with ServeClient.connect(tmp_path / "ctl.sock") as client:
+                status = client.status()
+                assert status["mode"] == "live" and status["ingested"] == 10
+                client.shutdown()
+        assert st.result.num_requests == 10
+        assert daemon.ingest_errors == 1
+
+    def test_live_mode_validation(self, small_config, tmp_path):
+        live_sim = build_sim(small_config, live=True)
+        with pytest.raises(ValueError, match="accel > 0"):
+            ServeDaemon(live_sim, tmp_path / "c.sock", accel=0.0,
+                        ingest_path=tmp_path / "f.sock")
+        with pytest.raises(ValueError, match="ingest"):
+            ServeDaemon(live_sim, tmp_path / "c.sock", accel=10.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            ServeDaemon(build_sim(small_config), tmp_path / "c.sock", accel=-1.0)
+
+
+class TestIncrementalRunner:
+    def test_begin_step_finalize_equals_run(self, small_config):
+        trace = poisson_trace(rate=30.0, duration=60.0, seed=9)
+        batch = run_single(trace, small_config, hibernator_policy(), goal_s=0.2)
+        sim = ArraySimulation(trace, small_config, hibernator_policy(), goal_s=0.2)
+        sim.begin()
+        while sim.step(max_events=512):
+            pass
+        stepped = sim.finalize()
+        assert result_digest(stepped) == result_digest(batch)
+
+    def test_single_shot_guards(self, small_config):
+        sim = build_sim(small_config)
+        sim.begin()
+        with pytest.raises(RuntimeError, match="single-shot"):
+            sim.begin()
+        while sim.step(max_events=4096):
+            pass
+        sim.finalize()
+        with pytest.raises(RuntimeError, match="single-shot"):
+            sim.finalize()
+        fresh = build_sim(small_config)
+        with pytest.raises(RuntimeError, match="before begin"):
+            fresh.finalize()
+
+    def test_step_after_drain_is_noop(self, small_config):
+        sim = build_sim(small_config)
+        sim.begin()
+        while sim.step(max_events=4096):
+            pass
+        assert sim.drain_complete
+        assert sim.step(max_events=128) == 0
+
+    def test_inject_request_validation(self, small_config):
+        sim = build_sim(small_config, live=True)
+        sim.begin()
+        req = sim.inject_request(kind=IoKind.READ, extent=3)
+        assert req == 0
+        with pytest.raises(ValueError):
+            sim.inject_request(kind=IoKind.READ, extent=99999)
+        with pytest.raises(ValueError):
+            sim.inject_request(kind=IoKind.READ, extent=0, size=0)
+        sim.halt_arrivals()
+        with pytest.raises(RuntimeError, match="halted"):
+            sim.inject_request(kind=IoKind.READ, extent=0)
+
+    def test_set_goal_validation(self, small_config):
+        sim = build_sim(small_config)
+        sim.begin()
+        with pytest.raises(ValueError):
+            sim.set_goal(-1.0)
+        sim.set_goal(0.5)
+        assert sim.goal_s == 0.5 and sim.deficit is not None
+        sim.set_goal(None)
+        assert sim.goal_s is None and sim.deficit is None
+
+
+class TestFaultPlanShifting:
+    def test_shift_rebases_all_times(self):
+        plan = fault_plan_from_dict({
+            "seed": 3,
+            "disk_failures": [{"time_s": 5.0, "disk": 0}],
+            "transient_faults": [
+                {"start_s": 1.0, "end_s": 4.0, "probability": 0.2}],
+            "slow_disk_faults": [
+                {"start_s": 2.0, "end_s": 6.0, "factor": 3.0}],
+        })
+        shifted = shift_fault_plan(plan, 100.0)
+        assert shifted.disk_failures[0].time_s == 105.0
+        assert (shifted.transient_faults[0].start_s,
+                shifted.transient_faults[0].end_s) == (101.0, 104.0)
+        assert (shifted.slow_disk_faults[0].start_s,
+                shifted.slow_disk_faults[0].end_s) == (102.0, 106.0)
+        # Zero offset and empty plans pass through untouched.
+        assert shift_fault_plan(plan, 0.0) is plan
+        empty = FaultPlan()
+        assert shift_fault_plan(empty, 50.0) is empty
+        with pytest.raises(ValueError):
+            shift_fault_plan(plan, -1.0)
+
+    def test_runtime_injection_rejects_past_times(self, small_config):
+        sim = build_sim(small_config)
+        sim.begin()
+        sim.step(max_events=2000)
+        now = sim.engine.now
+        assert now > 0
+        past = fault_plan_from_dict(
+            {"disk_failures": [{"time_s": now / 2, "disk": 0}]})
+        with pytest.raises(ValueError, match="past"):
+            sim.inject_faults(past)
+        # Transient windows already partly elapsed are fine: the injector
+        # only consults them per-op against the current clock.
+        stale = FaultPlan(transient_faults=(
+            TransientFault(start_s=0.0, end_s=now / 2, probability=0.1),))
+        sim.inject_faults(stale)
