@@ -1,0 +1,51 @@
+"""Atomic file replacement for result-bearing writes.
+
+Every artifact a run produces — result JSON, comparison CSVs, bench
+reports, fault plans, traces — is either complete or absent, never a
+torn half-file a crashed writer leaves behind for a later reader to
+mistake for data. The idiom is the standard one (the result cache has
+always used it): write to a temp file in the destination directory,
+flush, then :func:`os.replace`, which is atomic on POSIX when source
+and destination share a filesystem.
+
+:func:`atomic_write` packages the idiom as a context manager so call
+sites read like plain ``open(path, "w")``; the RES002 lint rule flags
+write-mode ``open`` calls in result-producing packages that bypass it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+
+@contextmanager
+def atomic_write(
+    path: str | Path, *, encoding: str = "utf-8", newline: str | None = None
+) -> Iterator[IO[str]]:
+    """Open ``path`` for writing such that it is replaced atomically.
+
+    The handle writes a sibling temp file; on clean exit the temp file
+    is :func:`os.replace`-d over ``path``, on any exception it is
+    removed and ``path`` is untouched. Yields a text-mode handle
+    (``newline=""`` for csv writers, as with builtin ``open``).
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent) or ".", prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding, newline=newline) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -13,6 +13,7 @@ import math
 from pathlib import Path
 from typing import IO, Any
 
+from repro.analysis.atomicio import atomic_write
 from repro.analysis.experiments import ComparisonResult
 from repro.obs.events import event_to_dict
 from repro.sim.runner import SimulationResult
@@ -118,7 +119,7 @@ def write_json(data: dict[str, Any], path: str | Path | IO[str]) -> None:
     if hasattr(path, "write"):
         json.dump(data, path, indent=2, sort_keys=True, allow_nan=False)  # type: ignore[arg-type]
         return
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
         json.dump(data, fh, indent=2, sort_keys=True, allow_nan=False)
 
 
@@ -132,7 +133,7 @@ _CSV_FIELDS = [
 
 def write_comparison_csv(comparison: ComparisonResult, path: str | Path) -> None:
     """One CSV row per scheme: the columns every plot script wants."""
-    with open(path, "w", encoding="utf-8", newline="") as fh:
+    with atomic_write(path, newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
         writer.writeheader()
         for name, result in comparison.results.items():

@@ -108,28 +108,11 @@ def _write_trace_out(events, path: str) -> None:
     line; with the rename, readers only ever see a complete file (or
     the previous one).
     """
-    import os
-    import tempfile
-    from pathlib import Path
-
+    from repro.analysis.atomicio import atomic_write
     from repro.obs.tracelog import write_jsonl
 
-    target = Path(path)
-    fd, tmp = tempfile.mkstemp(
-        dir=str(target.parent) or ".", prefix=f".{target.name}.", suffix=".tmp",
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            lines = write_jsonl(events, fh)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, target)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    with atomic_write(path) as fh:
+        lines = write_jsonl(events, fh)
     print(f"wrote {lines} trace event(s) to {path}")
 
 
@@ -673,6 +656,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     import repro
     from repro.lint import (
         check_code_version_bump,
+        check_protocol_version_bump,
         lint,
         render_json,
         render_rule_list,
@@ -693,7 +677,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     extra = []
     if args.guard_base:
-        extra = check_code_version_bump(resolve_repo_root(), args.guard_base)
+        repo_root = resolve_repo_root()
+        extra = check_code_version_bump(repo_root, args.guard_base)
+        extra += check_protocol_version_bump(repo_root, args.guard_base)
 
     try:
         result = lint(
@@ -996,12 +982,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="run the simulator-aware static-analysis pass",
-        description="Static analysis enforcing the repo's reproduction "
-                    "invariants: determinism (DET*), unit consistency "
-                    "(UNIT*), cache-key completeness (CACHE*) and "
-                    "observability pairing (OBS*). Exit codes: 0 no "
-                    "error-severity findings (warnings are reported but "
-                    "non-fatal), 1 errors, 2 usage error.",
+        description="Whole-program static analysis enforcing the repo's "
+                    "reproduction invariants: determinism (DET*), unit "
+                    "consistency (UNIT*), cache-key completeness (CACHE*), "
+                    "observability pairing (OBS*), serve-protocol sync "
+                    "(PROTO*), resource lifecycle (RES*) and concurrency "
+                    "safety (CONC*). Exit codes: 0 no error-severity "
+                    "findings (warnings are reported but non-fatal), "
+                    "1 errors, 2 usage error.",
     )
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: the repro package)")
@@ -1010,8 +998,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--select", help="comma-separated rule ids to run exclusively")
     p.add_argument("--ignore", help="comma-separated rule ids to skip")
     p.add_argument("--guard-base",
-                   help="git ref to diff against for the CODE_VERSION bump "
-                        "guard (CACHE002); omit to skip the guard")
+                   help="git ref to diff against for the CODE_VERSION "
+                        "(CACHE002) and PROTOCOL_VERSION (PROTO003) bump "
+                        "guards; omit to skip both")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.add_argument("-v", "--verbose", action="store_true",

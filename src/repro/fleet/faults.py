@@ -31,6 +31,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.analysis.atomicio import atomic_write
 from repro.disks.scheduling import RetryPolicy
 from repro.faults.plan import (
     DiskFailure,
@@ -270,6 +271,6 @@ def load_fleet_fault_plan(path: str | Path) -> FleetFaultPlan:
 
 def save_fleet_fault_plan(plan: FleetFaultPlan, path: str | Path) -> None:
     """Write a fleet plan as JSON (inverse of :func:`load_fleet_fault_plan`)."""
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
         json.dump(fleet_fault_plan_to_dict(plan), fh, indent=2, sort_keys=True)
         fh.write("\n")

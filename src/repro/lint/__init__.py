@@ -1,25 +1,35 @@
-"""repro.lint: simulator-aware static analysis.
+"""repro.lint: simulator-aware whole-program static analysis.
 
-A small AST-based linter that enforces the invariants this repo's
-reproduction guarantees rest on — determinism of result-producing code,
-unit-suffix consistency, cache-key completeness, and observability
-pairing. See ``docs/linting.md`` for the rule catalog and suppression
-syntax, and run it via ``repro lint``.
+A linter that enforces the invariants this repo's reproduction
+guarantees rest on — determinism of result-producing code, unit-suffix
+consistency, cache-key completeness, observability pairing,
+serve-protocol sync, resource lifecycles, and concurrency safety.
+Cross-file rules build on a project-wide symbol table and call graph
+(:mod:`repro.lint.callgraph`). See ``docs/linting.md`` for the rule
+catalog and suppression syntax, and run it via ``repro lint``.
 """
 
+from repro.lint.callgraph import CallGraph, SymbolTable
 from repro.lint.engine import LintResult, discover_files, lint
 from repro.lint.findings import Finding, Severity
-from repro.lint.guard import check_code_version_bump, resolve_repo_root
+from repro.lint.guard import (
+    check_code_version_bump,
+    check_protocol_version_bump,
+    resolve_repo_root,
+)
 from repro.lint.registry import Rule, all_rules, register
 from repro.lint.reporters import render_json, render_rule_list, render_text
 
 __all__ = [
+    "CallGraph",
     "Finding",
     "LintResult",
     "Rule",
     "Severity",
+    "SymbolTable",
     "all_rules",
     "check_code_version_bump",
+    "check_protocol_version_bump",
     "discover_files",
     "lint",
     "register",

@@ -14,8 +14,12 @@ linting.
 from __future__ import annotations
 
 import ast
+import typing
 from pathlib import Path
 from typing import Any, Iterator
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.callgraph import CallGraph, SymbolTable
 
 
 def module_name_for_path(path: Path) -> str:
@@ -150,3 +154,43 @@ class ProjectContext:
     def all_files(self) -> list[FileContext]:
         """Linted files plus context-only files, linted files first."""
         return [*self.files, *self.context_files]
+
+    # -- whole-program analysis ---------------------------------------------
+
+    def symbols(self) -> "SymbolTable":
+        """The project-wide symbol table (built once per lint run).
+
+        Indexes every function/method/class across all loaded files and
+        the re-export alias map, so rules resolve ``repro.*`` names to
+        their defining module (see :mod:`repro.lint.callgraph`).
+        """
+        from repro.lint.callgraph import SymbolTable
+
+        cached = self.cache.get("project.symbols")
+        if cached is None:
+            cached = SymbolTable.build(self.all_files())
+            self.cache["project.symbols"] = cached
+        return cached
+
+    def call_graph(self) -> "CallGraph":
+        """The project-wide call graph (built once per lint run)."""
+        from repro.lint.callgraph import CallGraph
+
+        cached = self.cache.get("project.call_graph")
+        if cached is None:
+            cached = CallGraph(self.symbols())
+            self.cache["project.call_graph"] = cached
+        return cached
+
+    def resolve_call(self, ctx: FileContext, func: ast.expr) -> str | None:
+        """Canonical dotted name a call resolves to, project-wide.
+
+        One step past :meth:`FileContext.qualified_call_name`: the
+        import-table resolution is chased through the symbol table's
+        re-export aliases, so ``from repro.obs import JsonlWriter``
+        call sites resolve to ``repro.obs.tracelog.JsonlWriter``.
+        """
+        dotted = ctx.qualified_call_name(func)
+        if dotted is None:
+            return None
+        return self.symbols().resolve(dotted)

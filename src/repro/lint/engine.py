@@ -208,8 +208,17 @@ def lint(
     rules = all_rules()
     unknown = (set(selected or ()) | ignored) - set(rules)
     if unknown:
-        raise ValueError(f"unknown rule id(s): {sorted(unknown)}; "
-                         f"known: {sorted(rules)}")
+        import difflib
+
+        hints = []
+        for rule_id in sorted(unknown):
+            close = difflib.get_close_matches(rule_id.upper(), list(rules), n=1)
+            if close:
+                hints.append(f"{rule_id} (did you mean {close[0]}?)")
+            else:
+                hints.append(rule_id)
+        raise ValueError(f"unknown rule id(s): {', '.join(hints)}; "
+                         f"known: {', '.join(sorted(rules))}")
 
     result = LintResult()
     contexts: list[FileContext] = []

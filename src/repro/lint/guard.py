@@ -1,24 +1,32 @@
-"""CODE_VERSION bump guard (CACHE002).
+"""Git-history guards (CACHE002, PROTO003).
 
-The result cache folds ``repro.analysis.cache.CODE_VERSION`` into every
-content key so that changing simulator *code* invalidates cached
-*results*. That only works if humans remember to bump the constant.
-This guard makes forgetting loud: it diffs the working tree against a
-base git revision and fails when any file under the semantics-bearing
-packages (``core``, ``sim``, ``disks``, ``policies``) changed while
-``CODE_VERSION`` did not.
+Two constants in this repo promise invalidation when their surroundings
+change, and both promises need git history to check:
 
-Unlike the AST rules this needs git history, so it runs only when the
-CLI is given ``--guard-base`` (CI passes the PR base ref). Its findings
-carry rule id ``CACHE002`` and flow through the same selection,
-suppression and reporting machinery as everything else.
+* ``repro.analysis.cache.CODE_VERSION`` is folded into every result
+  cache key so changing simulator *code* invalidates cached *results*
+  — **CACHE002** diffs the working tree against a base revision and
+  fails when the semantics-bearing packages (``core``, ``sim``,
+  ``disks``, ``policies``) changed while ``CODE_VERSION`` did not;
+* ``repro.serve.protocol.PROTOCOL_VERSION`` is reported by ``ping`` so
+  clients can refuse a daemon they don't speak — **PROTO003** parses
+  the base and working-tree ``protocol.py`` and fails when the command
+  set (``COMMANDS``) or per-command request fields (``MESSAGE_FIELDS``)
+  changed while the version did not.
+
+Unlike the AST rules these need git history, so they run only when the
+CLI is given ``--guard-base`` (CI passes the PR base ref). Their
+findings carry rule ids ``CACHE002``/``PROTO003`` and flow through the
+same selection, suppression and reporting machinery as everything else.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import subprocess
 from pathlib import Path
+from typing import Any
 
 from repro.lint.findings import Finding, Severity
 
@@ -126,3 +134,111 @@ def check_code_version_bump(repo: Path, base: str) -> list[Finding]:
                     "from the old code cannot be served for the new code",
         )]
     return []
+
+
+# -- PROTO003: PROTOCOL_VERSION bump guard -----------------------------------
+
+_PROTOCOL_MODULE = "src/repro/serve/protocol.py"
+
+
+def _protocol_surface(text: str) -> dict[str, Any] | None:
+    """The wire-contract constants of a ``protocol.py`` source text.
+
+    Returns ``{"version": ..., "commands": ..., "fields": ...}`` with
+    literal values evaluated, or None when the text does not parse.
+    Constants the module does not define come back as None — a missing
+    registry is treated as "unknown", never as "unchanged".
+    """
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return None
+    surface: dict[str, Any] = {"version": None, "commands": None, "fields": None}
+    keys = {"PROTOCOL_VERSION": "version", "COMMANDS": "commands",
+            "MESSAGE_FIELDS": "fields"}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in keys and value is not None:
+                try:
+                    surface[keys[target.id]] = ast.literal_eval(value)
+                except ValueError:
+                    pass
+    return surface
+
+
+def _normalized_fields(fields: Any) -> Any:
+    """Field registry with order-insensitive values for comparison."""
+    if not isinstance(fields, dict):
+        return fields
+    return {cmd: sorted(value) if isinstance(value, (list, tuple)) else value
+            for cmd, value in fields.items()}
+
+
+def check_protocol_version_bump(repo: Path, base: str) -> list[Finding]:
+    """PROTO003 findings for ``repo`` diffed against git ref ``base``.
+
+    Same anchoring as :func:`check_code_version_bump`: merge-base of
+    ``base`` and HEAD when one exists, the working tree on the new side,
+    loud single-finding degradation when history is unreadable.
+    """
+    merge_base = _git(repo, "merge-base", base, "HEAD")
+    anchor = merge_base.strip() if merge_base else base
+
+    old_text = _git(repo, "show", f"{anchor}:{_PROTOCOL_MODULE}")
+    if old_text is None:
+        # No protocol module at base (or unreadable ref): a brand-new
+        # protocol needs no bump; a bad ref already fails CACHE002 loudly.
+        return []
+    old = _protocol_surface(old_text)
+    if old is None:
+        return []
+
+    proto_path = repo / _PROTOCOL_MODULE
+    try:
+        new_text = proto_path.read_text(encoding="utf-8")
+    except OSError:
+        new_text = None
+    new = _protocol_surface(new_text) if new_text is not None else None
+    if new is None:
+        return [Finding(
+            path=_PROTOCOL_MODULE, line=1, col=0,
+            rule_id="PROTO003", severity=Severity.ERROR,
+            message=f"cannot read the protocol surface from {proto_path}; "
+                    "the PROTOCOL_VERSION guard could not run (is the repo "
+                    "root right and the module still parseable?)",
+        )]
+
+    def _drifted(old_value: Any, new_value: Any) -> bool:
+        # A registry the base did not define yet cannot have drifted
+        # (introducing COMMANDS/MESSAGE_FIELDS is not a wire change);
+        # deleting one the base had is always drift.
+        if old_value is None:
+            return False
+        if new_value is None:
+            return True
+        return old_value != new_value
+
+    changed: list[str] = []
+    old_cmds = set(old["commands"]) if old["commands"] is not None else None
+    new_cmds = set(new["commands"]) if new["commands"] is not None else None
+    if _drifted(old_cmds, new_cmds):
+        changed.append("command set (COMMANDS)")
+    if _drifted(_normalized_fields(old["fields"]), _normalized_fields(new["fields"])):
+        changed.append("message fields (MESSAGE_FIELDS)")
+    if not changed:
+        return []
+    if old["version"] != new["version"]:
+        return []
+    return [Finding(
+        path=_PROTOCOL_MODULE, line=1, col=0,
+        rule_id="PROTO003", severity=Severity.ERROR,
+        message=f"the wire contract changed ({' and '.join(changed)}) but "
+                f"PROTOCOL_VERSION is still {new['version']!r}; bump it so "
+                "clients can refuse a daemon they no longer speak",
+    )]

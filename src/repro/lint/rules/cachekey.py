@@ -10,9 +10,13 @@ runs onto one key — returning stale results that look perfectly valid.
 
 CACHE001 therefore requires that every non-ClassVar field of a dataclass
 that defines ``cache_key`` is *referenced* somewhere inside that method
-(as ``self.<field>``, a bare name, or a string key). Fields that are
-deliberately excluded must be suppressed inline with a reason, which
-turns an invisible omission into a reviewed decision.
+(as ``self.<field>``, a bare name, or a string key) — or inside a helper
+method of the same class that ``cache_key`` (transitively) calls, which
+the project call graph resolves (:mod:`repro.lint.callgraph`), so
+factoring key construction into ``self._key_parts()`` helpers does not
+force suppressions. Fields that are deliberately excluded must be
+suppressed inline with a reason, which turns an invisible omission into
+a reviewed decision.
 
 The companion CODE_VERSION guard (CACHE002) lives in
 :mod:`repro.lint.guard` because it needs git history, not an AST.
@@ -70,6 +74,31 @@ def _referenced_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
     return names
 
 
+def _reachable_key_names(
+    ctx: FileContext,
+    project: ProjectContext,
+    node: ast.ClassDef,
+    cache_key: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names ``cache_key`` can reach, closed over same-class helpers.
+
+    The call graph resolves ``self._key_parts()``-style helper calls to
+    their method definitions; every helper's referenced names count as
+    reachable from ``cache_key`` itself, transitively.
+    """
+    reachable = _referenced_names(cache_key)
+    owner = project.symbols().class_def(f"{ctx.module}.{node.name}")
+    if owner is None:
+        return reachable
+    graph = project.call_graph()
+    start = f"{owner.qualname}.{cache_key.name}"
+    for qualname in graph.reachable_from([start]):
+        info = graph.symbols.functions.get(qualname)
+        if info is not None and f"{info.module}.{info.class_name}" == owner.qualname:
+            reachable |= _referenced_names(info.node)
+    return reachable
+
+
 def check_cache_key_completeness(
     ctx: FileContext, project: ProjectContext
 ) -> Iterator[tuple[int, int, str]]:
@@ -85,7 +114,7 @@ def check_cache_key_completeness(
         )
         if cache_key is None:
             continue
-        reachable = _referenced_names(cache_key)
+        reachable = _reachable_key_names(ctx, project, node, cache_key)
         for field_name, stmt in _field_defs(node):
             if field_name not in reachable:
                 yield (stmt.lineno, stmt.col_offset,

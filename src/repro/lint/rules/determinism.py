@@ -75,10 +75,18 @@ _NUMPY_SEEDED_CONSTRUCTORS = {
 }
 
 
-def _calls(ctx: FileContext) -> Iterator[tuple[ast.Call, str]]:
+def _calls(
+    ctx: FileContext, project: ProjectContext
+) -> Iterator[tuple[ast.Call, str]]:
+    """Every call in the file with its canonical dotted name.
+
+    Resolution goes through :meth:`ProjectContext.resolve_call` so names
+    imported via package ``__init__`` re-exports are judged by the module
+    that actually defines them, not the alias they were imported under.
+    """
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.Call):
-            name = ctx.qualified_call_name(node.func)
+            name = project.resolve_call(ctx, node.func)
             if name is not None:
                 yield node, name
 
@@ -87,7 +95,7 @@ def check_unseeded_rng(
     ctx: FileContext, project: ProjectContext
 ) -> Iterator[tuple[int, int, str]]:
     """DET001: numpy RNG construction/use without an explicit seed."""
-    for call, name in _calls(ctx):
+    for call, name in _calls(ctx, project):
         if name in _NUMPY_SEEDED_CONSTRUCTORS:
             if not call.args and not call.keywords:
                 yield (call.lineno, call.col_offset,
@@ -106,7 +114,7 @@ def check_stdlib_random(
     ctx: FileContext, project: ProjectContext
 ) -> Iterator[tuple[int, int, str]]:
     """DET002: stdlib ``random`` global-state RNG in result code."""
-    for call, name in _calls(ctx):
+    for call, name in _calls(ctx, project):
         if not (name == "random" or name.startswith("random.")):
             continue
         if name in _STDLIB_RANDOM_OK and (call.args or call.keywords):
@@ -120,7 +128,7 @@ def check_wall_clock(
     ctx: FileContext, project: ProjectContext
 ) -> Iterator[tuple[int, int, str]]:
     """DET003: wall-clock reads in result-producing code."""
-    for call, name in _calls(ctx):
+    for call, name in _calls(ctx, project):
         if name in _WALL_CLOCK or name.endswith((".datetime.now", ".datetime.utcnow")):
             yield (call.lineno, call.col_offset,
                    f"{name}() reads the wall clock; simulated time lives on "

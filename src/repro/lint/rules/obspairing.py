@@ -14,11 +14,12 @@ The observability layer's contract (DESIGN.md) is two-sided:
 OBS001 is a cross-file analysis: ``PDCPolicy._period_boundary`` bumps
 ``pdc_periods`` and emits nothing directly, but it calls
 ``MigrationExecutor.start``/``cancel`` which carry the guarded emits.
-The rule computes a project-wide fixpoint of *emitting functions* (a
-function is emitting if its body contains an ``.emit(...)`` call, or
-calls a function whose name is already in the set) and accepts an
-increment site whose enclosing function is emitting. The set is keyed
-by bare function name, which is deliberately permissive: the rule's job
+The rule asks the project call graph (:mod:`repro.lint.callgraph`) for
+the fixpoint of *emitting functions* — a function is emitting if its
+body contains an ``.emit(...)`` call, or it calls (resolved edge or
+shared bare name) a function already in the set — and accepts an
+increment site whose enclosing function is emitting. Membership is
+tested by bare name, which is deliberately permissive: the rule's job
 is to catch counters with *no plausible* paired event, not to prove the
 pairing.
 """
@@ -28,6 +29,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.lint.callgraph import FunctionInfo
 from repro.lint.context import FileContext, ProjectContext
 from repro.lint.findings import Severity
 from repro.lint.registry import Rule, register
@@ -65,28 +67,17 @@ def _called_names(func: ast.AST) -> set[str]:
     return names
 
 
-def _emitting_functions(project: ProjectContext) -> set[str]:
+def _emits_directly(info: FunctionInfo) -> bool:
+    return any(_is_emit_call(sub) for sub in ast.walk(info.node))
+
+
+def _emitting_functions(project: ProjectContext) -> frozenset[str]:
     """Fixpoint of function names that (transitively) emit trace events."""
     cached = project.cache.get(_EMITTING_CACHE_KEY)
     if cached is not None:
         return cached
 
-    funcs: list[tuple[str, set[str], bool]] = []
-    for ctx in project.all_files():
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                emits = any(_is_emit_call(sub) for sub in ast.walk(node))
-                funcs.append((node.name, _called_names(node), emits))
-
-    emitting = {name for name, _, emits in funcs if emits}
-    changed = True
-    while changed:
-        changed = False
-        for name, calls, _ in funcs:
-            if name not in emitting and calls & emitting:
-                emitting.add(name)
-                changed = True
-
+    emitting = project.call_graph().fixpoint(_emits_directly).names
     project.cache[_EMITTING_CACHE_KEY] = emitting
     return emitting
 

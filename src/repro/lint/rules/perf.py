@@ -21,20 +21,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.lint.callgraph import bare_call_name
 from repro.lint.context import FileContext, ProjectContext
 from repro.lint.findings import Severity
 from repro.lint.registry import Rule, register
 
 _FAST_SCHEDULE_NAMES = ("schedule_fast", "schedule_after_fast")
-
-
-def _call_name(node: ast.Call) -> str | None:
-    func = node.func
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    if isinstance(func, ast.Name):
-        return func.id
-    return None
 
 
 def check_fast_schedule_return(
@@ -49,7 +41,7 @@ def check_fast_schedule_return(
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Call):
             continue
-        name = _call_name(node)
+        name = bare_call_name(node)
         if name not in _FAST_SCHEDULE_NAMES:
             continue
         if id(node) in statement_calls:

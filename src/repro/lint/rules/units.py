@@ -21,6 +21,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.lint.callgraph import bare_call_name
 from repro.lint.context import FileContext, ProjectContext
 from repro.lint.findings import Severity
 from repro.lint.registry import Rule, register
@@ -60,7 +61,7 @@ def _name_of(node: ast.expr) -> str | None:
     if isinstance(node, ast.Attribute):
         return node.attr
     if isinstance(node, ast.Call):
-        return _name_of(node.func)
+        return bare_call_name(node)
     return None
 
 

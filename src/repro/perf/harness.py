@@ -40,6 +40,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.analysis.atomicio import atomic_write
 from repro.analysis.cache import CODE_VERSION
 from repro.analysis.parallel import run_spec
 from repro.fleet.executor import run_fleet
@@ -161,7 +162,7 @@ def run_benchmark(
 
 
 def write_bench(doc: dict[str, Any], path: str | Path) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
@@ -269,7 +270,7 @@ def write_golden(path: str | Path) -> dict[str, str]:
     }
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    with open(out, "w", encoding="utf-8") as fh:
+    with atomic_write(out) as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return digests

@@ -44,6 +44,22 @@ PROTOCOL_VERSION = 1
 #: Commands the daemon understands (the dispatch table is keyed on this).
 COMMANDS = ("ping", "status", "set-goal", "inject-fault", "force-boost", "shutdown")
 
+#: Request fields each command carries beyond ``cmd``. This is the wire
+#: contract in registry form: the PROTO003 lint guard diffs it (and
+#: COMMANDS) against the PR base and demands a PROTOCOL_VERSION bump
+#: when either changes, so clients can refuse daemons they don't speak.
+MESSAGE_FIELDS: dict[str, tuple[str, ...]] = {
+    "ping": (),
+    "status": (),
+    "set-goal": ("goal_s",),
+    "inject-fault": ("plan", "relative"),
+    "force-boost": (),
+    "shutdown": (),
+}
+
+if set(MESSAGE_FIELDS) != set(COMMANDS):  # pragma: no cover - import-time invariant
+    raise AssertionError("MESSAGE_FIELDS and COMMANDS list different commands")
+
 
 class ProtocolError(ValueError):
     """A message violated the protocol (bad JSON, missing cmd, ...)."""

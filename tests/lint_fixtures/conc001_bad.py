@@ -1,0 +1,17 @@
+"""Bad: online mutators invoked from inside the step loop.
+
+An engine callback or policy hook calling a mutator makes the result
+depend on event interleaving — exactly the nondeterminism the serve
+layer's dispatch boundary exists to prevent.
+"""
+
+
+def on_engine_step(sim, now):
+    if now > 100.0:
+        sim.set_goal(0.5)
+
+
+class AdaptivePolicy:
+    def epoch_hook(self, sim, requests):
+        for request in requests:
+            sim.inject_request(request)

@@ -1,0 +1,23 @@
+"""Ok: mutators only from command dispatch, ingest, or peer mutators."""
+
+
+class Daemon:
+    def _cmd_set_goal(self, request):
+        self.sim.set_goal(request["goal_s"])
+        return {}
+
+    def _cmd_inject_fault(self, request):
+        self.sim.inject_faults(request["plan"])
+        return {}
+
+    def _ingest_line(self, line):
+        self.sim.inject_request(line)
+        return {}
+
+
+class OnlineSim:
+    def set_goal(self, goal_s):
+        # Delegation between mutators is the one non-dispatch caller
+        # that is always safe: the outer call already crossed the
+        # dispatch boundary.
+        self.policy.set_goal(goal_s)

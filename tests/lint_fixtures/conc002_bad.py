@@ -1,0 +1,19 @@
+"""Bad: unpicklable callables smuggled into process fan-outs.
+
+Both fail only at fan-out time, on a worker, with a pickle traceback
+that points nowhere near this file.
+"""
+
+from repro.analysis.parallel import execute
+from repro.fleet.spec import FleetSpec
+
+
+def fanout_with_lambda(specs):
+    return execute(specs, key=lambda spec: spec.seed)
+
+
+def fleet_with_local_def(num_arrays):
+    def pick_policy(array_index):
+        return "pdc"
+
+    return FleetSpec(num_arrays=num_arrays, policy=pick_policy)

@@ -1,0 +1,11 @@
+"""Bad: module-level mutable state in result-producing code.
+
+Every run in the process shares these containers, and none of them is
+part of any cache key — results come to depend on what ran before.
+"""
+
+seen_runs = {}
+
+pending: list = []
+
+request_cache = dict()

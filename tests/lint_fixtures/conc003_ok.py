@@ -1,0 +1,12 @@
+"""Ok: import-time registries named as constants, state kept local."""
+
+DISCIPLINES = {"fcfs": object(), "elevator": object()}
+
+_PARTITIONERS: dict = {}
+
+__all__ = ["DISCIPLINES"]
+
+
+def fresh_state():
+    pending: list = []
+    return {"pending": pending}

@@ -1,0 +1,6 @@
+"""Bad: this file does not parse — the engine must surface it as a
+LINT999 finding with a path:line, never crash the run."""
+
+
+def broken(:
+    pass

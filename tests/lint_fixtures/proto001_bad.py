@@ -1,0 +1,28 @@
+"""Bad: a command dispatched but absent from COMMANDS and ServeClient.
+
+``reset-epoch`` was wired into the daemon's dispatch table without
+registering it in the protocol or giving the client a method — it works
+in ad-hoc socket tests and is unreachable from ``repro ctl``.
+"""
+
+COMMANDS = ("ping",)
+
+
+class ServeClient:
+    def ping(self):
+        return {}
+
+
+class Daemon:
+    def _cmd_ping(self, request):
+        return {"pong": True}
+
+    def _cmd_reset_epoch(self, request):
+        return {}
+
+    def _dispatch(self, cmd, request):
+        handler = {
+            "ping": self._cmd_ping,
+            "reset-epoch": self._cmd_reset_epoch,
+        }[cmd]
+        return handler(request)

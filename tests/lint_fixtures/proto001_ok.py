@@ -1,0 +1,26 @@
+"""Ok: every dispatched command is declared and client-drivable."""
+
+COMMANDS = ("ping", "set-goal")
+
+
+class ServeClient:
+    def ping(self):
+        return {}
+
+    def set_goal(self, goal_s):
+        return {}
+
+
+class Daemon:
+    def _cmd_ping(self, request):
+        return {"pong": True}
+
+    def _cmd_set_goal(self, request):
+        return {}
+
+    def _dispatch(self, cmd, request):
+        handler = {
+            "ping": self._cmd_ping,
+            "set-goal": self._cmd_set_goal,
+        }[cmd]
+        return handler(request)

@@ -1,0 +1,20 @@
+"""Bad: a dispatched command with no ``docs/serve.md`` entry.
+
+``ping`` is documented; ``reset-epoch`` is not — operators reading the
+serve docs cannot discover it.
+"""
+
+
+class Daemon:
+    def _cmd_ping(self, request):
+        return {"pong": True}
+
+    def _cmd_reset_epoch(self, request):
+        return {}
+
+    def _dispatch(self, cmd, request):
+        handler = {
+            "ping": self._cmd_ping,
+            "reset-epoch": self._cmd_reset_epoch,
+        }[cmd]
+        return handler(request)

@@ -1,0 +1,16 @@
+"""Ok: every dispatched command has a ``docs/serve.md`` entry."""
+
+
+class Daemon:
+    def _cmd_ping(self, request):
+        return {"pong": True}
+
+    def _cmd_status(self, request):
+        return {}
+
+    def _dispatch(self, cmd, request):
+        handler = {
+            "ping": self._cmd_ping,
+            "status": self._cmd_status,
+        }[cmd]
+        return handler(request)

@@ -1,0 +1,27 @@
+"""Bad: resources acquired with no visible release path.
+
+Each function leaks: the socket stays open after the send, the file
+handle is dropped once read, the writer has no owner that closes it.
+"""
+
+import socket
+
+from repro.obs.tracelog import JsonlWriter
+
+
+def leaky_probe(address):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(address)
+    sock.sendall(b"ping\n")
+    return True
+
+
+def leaky_read(path):
+    handle = open(path, encoding="utf-8")
+    return handle.read()
+
+
+def leaky_trace(path, events):
+    writer = JsonlWriter(path)
+    for event in events:
+        writer.write(event)

@@ -1,0 +1,33 @@
+"""Ok: every acquired resource has a release path RES001 recognizes."""
+
+import socket
+
+from repro.obs.tracelog import JsonlWriter
+
+
+def with_block(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def finally_close(address):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.connect(address)
+        sock.sendall(b"ping\n")
+    finally:
+        sock.close()
+
+
+def ownership_transfer(address):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.bind(address)
+    return sock
+
+
+class TraceSink:
+    def __init__(self, path):
+        self._writer = JsonlWriter(path)
+
+    def close(self):
+        self._writer.close()

@@ -1,0 +1,14 @@
+"""Bad: result files written in place — a mid-write crash leaves a torn
+file that a later reader mistakes for data."""
+
+import json
+
+
+def save_result(doc, path):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+def save_report(text, path):
+    with open(path, mode="w", encoding="utf-8") as fh:
+        fh.write(text)

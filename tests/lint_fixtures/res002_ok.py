@@ -1,0 +1,25 @@
+"""Ok: writes are atomic — temp file in the target directory, then
+``os.replace`` — or go through the blessed helper."""
+
+import json
+import os
+import tempfile
+
+from repro.analysis.atomicio import atomic_write
+
+
+def save_result(doc, path):
+    with atomic_write(path) as fh:
+        json.dump(doc, fh)
+
+
+def save_by_hand(text, path):
+    fd, tmp = tempfile.mkstemp(dir=".")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+
+
+def read_result(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -83,11 +83,37 @@ class TestSelection:
         with pytest.raises(ValueError, match="NOPE999"):
             lint([path], select=["NOPE999"])
 
+    def test_unknown_rule_id_lists_known_and_suggests(self, tmp_path):
+        """The error names every valid id and offers a did-you-mean for
+        near misses, so a typo is a one-glance fix."""
+        path = _write(tmp_path, "x = 1\n")
+        with pytest.raises(ValueError) as excinfo:
+            lint([path], select=["PROTO01"])
+        message = str(excinfo.value)
+        assert "did you mean PROTO001?" in message
+        assert "DET003" in message and "RES001" in message
+
+    def test_unknown_ignore_id_raises_too(self, tmp_path):
+        path = _write(tmp_path, "x = 1\n")
+        with pytest.raises(ValueError, match="unknown rule id"):
+            lint([path], ignore=["NOPE999"])
+
     def test_parse_error_is_lint999(self, tmp_path):
         path = _write(tmp_path, "def broken(:\n")
         result = lint([path])
         assert [f.rule_id for f in result.findings] == ["LINT999"]
         assert result.findings[0].severity is Severity.ERROR
+
+    def test_parse_error_fixture_carries_path_and_line(self):
+        """The checked-in syntax-error fixture: the run survives and the
+        finding points at the offending file:line."""
+        fixture = Path(__file__).parent / "lint_fixtures" / "lint999_bad.py"
+        result = lint([fixture])
+        (finding,) = result.findings
+        assert finding.rule_id == "LINT999"
+        assert finding.path.endswith("lint999_bad.py")
+        assert finding.line == 5
+        assert "cannot parse" in finding.message
 
 
 class TestReporters:
@@ -122,9 +148,28 @@ class TestReporters:
         rules = all_rules()
         for rule_id in ("DET001", "DET002", "DET003", "DET004", "UNIT001",
                         "UNIT002", "CACHE001", "CACHE002", "OBS001", "OBS002",
-                        "PERF001", "LINT000", "LINT999"):
+                        "PERF001", "PROTO001", "PROTO002", "PROTO003",
+                        "RES001", "RES002", "CONC001", "CONC002", "CONC003",
+                        "LINT000", "LINT999"):
             assert rule_id in rules
             assert rules[rule_id].description
+
+    def test_docs_catalog_in_sync_with_registry(self):
+        """Doc-sync gate: every registered rule id has a catalog entry in
+        docs/linting.md and every id the docs mention is registered —
+        new rule families cannot ship undocumented (or linger after
+        removal)."""
+        import re
+
+        doc = (Path(__file__).parent.parent / "docs" / "linting.md").read_text(
+            encoding="utf-8")
+        documented = set(re.findall(
+            r"\b(?:DET|UNIT|CACHE|OBS|PERF|PROTO|RES|CONC|LINT)\d{3}\b", doc))
+        registered = set(all_rules())
+        assert registered - documented == set(), (
+            f"rules missing from docs/linting.md: {sorted(registered - documented)}")
+        assert documented - registered == set(), (
+            f"docs/linting.md mentions unregistered rules: {sorted(documented - registered)}")
 
 
 def _git(repo: Path, *args: str) -> None:

@@ -10,16 +10,19 @@ faking a package layout.
 
 from __future__ import annotations
 
+import subprocess
 from pathlib import Path
 
 import pytest
 
-from repro.lint import lint
+from repro.lint import check_protocol_version_bump, lint
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 
 RULES = ["DET001", "DET002", "DET003", "DET004",
-         "UNIT001", "UNIT002", "CACHE001", "OBS001", "OBS002", "PERF001"]
+         "UNIT001", "UNIT002", "CACHE001", "OBS001", "OBS002", "PERF001",
+         "PROTO001", "PROTO002", "RES001", "RES002",
+         "CONC001", "CONC002", "CONC003"]
 
 
 def _findings(filename: str, rule_id: str):
@@ -51,6 +54,8 @@ def test_expected_bad_fixture_counts():
         "DET001": 3, "DET002": 2, "DET003": 3, "DET004": 3,
         "UNIT001": 3, "UNIT002": 3, "CACHE001": 1, "OBS001": 1, "OBS002": 2,
         "PERF001": 3,
+        "PROTO001": 2, "PROTO002": 1, "RES001": 3, "RES002": 2,
+        "CONC001": 2, "CONC002": 2, "CONC003": 3,
     }
     for rule_id, count in expected.items():
         result = _findings(f"{rule_id.lower()}_bad.py", rule_id)
@@ -72,3 +77,113 @@ def test_findings_carry_file_line_col_spans():
         assert f.path.endswith("det001_bad.py")
         assert f.line > 0 and f.col >= 0
         assert f.location() == f"{f.path}:{f.line}:{f.col}"
+
+
+# -- seeded mutation checks ---------------------------------------------------
+#
+# Each check injects the exact defect its rule exists for and asserts
+# the rule trips — proving the guards fail closed, not just that they
+# stay quiet on compliant code.
+
+
+def test_mutation_unclosed_socket_trips_res001(tmp_path):
+    mutated = tmp_path / "leak.py"
+    mutated.write_text(
+        "import socket\n\n"
+        "def probe(address):\n"
+        "    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)\n"
+        "    sock.connect(address)\n"
+        "    sock.sendall(b'ping')\n"
+    )
+    result = lint([mutated], select=["RES001"])
+    assert [f.rule_id for f in result.findings] == ["RES001"]
+    assert "socket.socket" in result.findings[0].message
+
+
+def test_mutation_lambda_in_fleetspec_trips_conc002(tmp_path):
+    mutated = tmp_path / "fleet_lambda.py"
+    mutated.write_text(
+        "from repro.fleet.spec import FleetSpec\n\n"
+        "def build():\n"
+        "    return FleetSpec(num_arrays=4, policy=lambda array: 'pdc')\n"
+    )
+    result = lint([mutated], select=["CONC002"])
+    assert [f.rule_id for f in result.findings] == ["CONC002"]
+    assert "lambda" in result.findings[0].message
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", "-C", str(repo), "-c", "user.email=t@t", "-c", "user.name=t",
+         *args],
+        check=True, capture_output=True)
+
+
+_PROTOCOL_TEMPLATE = """\
+PROTOCOL_VERSION = {version}
+COMMANDS = {commands!r}
+MESSAGE_FIELDS = {fields!r}
+"""
+
+
+@pytest.fixture
+def protocol_repo(tmp_path):
+    """A git repo whose serve protocol module is at version 1."""
+    repo = tmp_path / "repo"
+    (repo / "src/repro/serve").mkdir(parents=True)
+    proto = repo / "src/repro/serve/protocol.py"
+    proto.write_text(_PROTOCOL_TEMPLATE.format(
+        version=1,
+        commands=("ping", "status"),
+        fields={"ping": (), "status": ()},
+    ))
+    _git(repo, "init", "-q")
+    _git(repo, "add", ".")
+    _git(repo, "commit", "-q", "-m", "base")
+    return repo, proto
+
+
+class TestProtocolVersionGuard:
+    def test_unchanged_protocol_passes(self, protocol_repo):
+        repo, _ = protocol_repo
+        assert check_protocol_version_bump(repo, "HEAD") == []
+
+    def test_mutation_new_command_without_bump_trips_proto003(self, protocol_repo):
+        """The seeded mutation: the command set grows but the version
+        bump is (deleted|forgotten) — PROTO003 must fire."""
+        repo, proto = protocol_repo
+        proto.write_text(_PROTOCOL_TEMPLATE.format(
+            version=1,
+            commands=("ping", "status", "reset-epoch"),
+            fields={"ping": (), "status": (), "reset-epoch": ()},
+        ))
+        findings = check_protocol_version_bump(repo, "HEAD")
+        assert [f.rule_id for f in findings] == ["PROTO003"]
+        assert "PROTOCOL_VERSION" in findings[0].message
+
+    def test_new_command_with_bump_passes(self, protocol_repo):
+        repo, proto = protocol_repo
+        proto.write_text(_PROTOCOL_TEMPLATE.format(
+            version=2,
+            commands=("ping", "status", "reset-epoch"),
+            fields={"ping": (), "status": (), "reset-epoch": ()},
+        ))
+        assert check_protocol_version_bump(repo, "HEAD") == []
+
+    def test_field_change_without_bump_trips_proto003(self, protocol_repo):
+        repo, proto = protocol_repo
+        proto.write_text(_PROTOCOL_TEMPLATE.format(
+            version=1,
+            commands=("ping", "status"),
+            fields={"ping": (), "status": ("verbose",)},
+        ))
+        findings = check_protocol_version_bump(repo, "HEAD")
+        assert [f.rule_id for f in findings] == ["PROTO003"]
+        assert "MESSAGE_FIELDS" in findings[0].message
+
+    def test_deleted_protocol_module_is_loud(self, protocol_repo):
+        repo, proto = protocol_repo
+        proto.unlink()
+        findings = check_protocol_version_bump(repo, "HEAD")
+        assert [f.rule_id for f in findings] == ["PROTO003"]
+        assert "could not run" in findings[0].message

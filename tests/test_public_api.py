@@ -33,15 +33,19 @@ MODULES = [
     "repro.analysis.report", "repro.analysis.sweeps",
     "repro.analysis.parallel", "repro.analysis.cache",
     "repro.analysis.ascii_plot", "repro.analysis.export",
+    "repro.analysis.atomicio",
     "repro.obs", "repro.obs.events", "repro.obs.metrics",
     "repro.obs.tracelog", "repro.obs.summary",
     "repro.serve", "repro.serve.protocol", "repro.serve.daemon",
     "repro.serve.client",
     "repro.lint", "repro.lint.findings", "repro.lint.context",
     "repro.lint.registry", "repro.lint.engine", "repro.lint.reporters",
-    "repro.lint.guard", "repro.lint.rules", "repro.lint.rules.determinism",
+    "repro.lint.guard", "repro.lint.callgraph",
+    "repro.lint.rules", "repro.lint.rules.determinism",
     "repro.lint.rules.units", "repro.lint.rules.cachekey",
     "repro.lint.rules.obspairing", "repro.lint.rules.perf",
+    "repro.lint.rules.protocol", "repro.lint.rules.resources",
+    "repro.lint.rules.concurrency",
     "repro.perf", "repro.perf.scenarios", "repro.perf.harness",
     "repro.perf.digest", "repro.perf.profiling",
     "repro.cli",
