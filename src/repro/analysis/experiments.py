@@ -73,6 +73,7 @@ def run_single(
     window_s: float | None = None,
     observe: bool = False,
     faults: "FaultPlan | None" = None,
+    engine: str = "scalar",
 ) -> SimulationResult:
     """One scheme on one trace (fresh simulation per call).
 
@@ -80,8 +81,12 @@ def run_single(
     (:mod:`repro.obs`) into ``result.events``; metrics are identical
     either way. ``faults`` injects a declarative fault plan
     (:mod:`repro.faults`); None or an empty plan changes nothing.
+    ``engine`` picks the simulation core (``"scalar"``/``"batch"``);
+    results are byte-identical either way.
     """
-    sim = ArraySimulation(
+    from repro.analysis.parallel import simulation_class
+
+    sim = simulation_class(engine)(
         trace=trace,
         array_config=array_config,
         policy=policy,
@@ -99,6 +104,7 @@ def derive_goal(
     slack: float = 1.5,
     observe: bool = False,
     faults: "FaultPlan | None" = None,
+    engine: str = "scalar",
 ) -> tuple[float, SimulationResult]:
     """Run Base and derive the response-time goal from its mean.
 
@@ -110,7 +116,8 @@ def derive_goal(
     """
     if slack < 1.0:
         raise ValueError(f"slack below 1.0 is unmeetable by definition, got {slack!r}")
-    base = run_single(trace, array_config, AlwaysOnPolicy(), observe=observe, faults=faults)
+    base = run_single(trace, array_config, AlwaysOnPolicy(), observe=observe,
+                      faults=faults, engine=engine)
     if base.mean_response_s <= 0:
         raise ValueError("Base run produced no requests; cannot derive a goal")
     return slack * base.mean_response_s, base
@@ -236,6 +243,7 @@ def run_comparison(
     cache: ResultCache | None = None,
     observe: bool = False,
     faults: "FaultPlan | None" = None,
+    engine: str = "scalar",
 ) -> ComparisonResult:
     """Full paper-style comparison on one trace.
 
@@ -254,14 +262,15 @@ def run_comparison(
     """
     if jobs == 1 and cache is None:
         goal_s, base_result = derive_goal(trace, array_config, slack, observe=observe,
-                                          faults=faults)
+                                          faults=faults, engine=engine)
         comparison = ComparisonResult(goal_s=goal_s, slack=slack)
         comparison.results["Base"] = base_result
         if schemes is None:
             schemes = standard_policies(trace, array_config, hibernator_config)
         for policy, config in schemes:
             result = run_single(trace, config, policy, goal_s=goal_s,
-                                window_s=window_s, observe=observe, faults=faults)
+                                window_s=window_s, observe=observe, faults=faults,
+                                engine=engine)
             comparison.results[result.policy_name] = result
         return comparison
 
@@ -272,7 +281,7 @@ def run_comparison(
     trace_spec = TraceSpec.from_trace(trace)
     base_result = execute_one(
         RunSpec(trace=trace_spec, array=array_config, policy=PolicySpec.named("base"),
-                observe=observe, faults=faults),
+                observe=observe, faults=faults, engine=engine),
         cache=cache,
     )
     if base_result.mean_response_s <= 0:
@@ -291,6 +300,7 @@ def run_comparison(
             window_s=window_s,
             observe=observe,
             faults=faults,
+            engine=engine,
         )
         for policy, config in schemes
     ]

@@ -289,11 +289,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     base = None
     goal = None
     if args.policy != "base" and args.slack is not None:
-        base = run_single(trace, config, AlwaysOnPolicy(), faults=faults)
+        base = run_single(trace, config, AlwaysOnPolicy(), faults=faults,
+                          engine=args.engine)
         goal = args.slack * base.mean_response_s
     policy, policy_config = _build_policy(args.policy, args, trace, config)
     result = run_single(trace, policy_config, policy, goal_s=goal,
-                        observe=bool(args.trace_out), faults=faults)
+                        observe=bool(args.trace_out), faults=faults,
+                        engine=args.engine)
     if args.trace_out:
         _write_trace_out(result.events, args.trace_out)
     if args.json:
@@ -315,7 +317,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         hibernator_config=HibernatorConfig(epoch_seconds=args.epoch,
                                            migration=args.migration),
         jobs=args.jobs, cache=cache, observe=bool(args.trace_out),
-        faults=_load_faults(args),
+        faults=_load_faults(args), engine=args.engine,
     )
     if args.trace_out:
         _write_trace_out(comparison.all_events(), args.trace_out)
@@ -442,6 +444,7 @@ def _build_fleet(args: argparse.Namespace, policy_name: str):
         observe=bool(getattr(args, "trace_out", None)),
         faults=faults,
         seed=args.fleet_seed,
+        engine=getattr(args, "engine", "scalar"),
     )
 
 
@@ -740,8 +743,9 @@ def cmd_perf(args: argparse.Namespace) -> int:
         return 0
 
     print(f"== repro perf: {len(scenarios)} scenario(s), "
-          f"best of {args.repeats} repeat(s) ==")
-    doc = run_benchmark(scenarios, repeats=args.repeats, log=print)
+          f"best of {args.repeats} repeat(s), engine={args.engine} ==")
+    doc = run_benchmark(scenarios, repeats=args.repeats, log=print,
+                        engine=args.engine)
 
     root = resolve_repo_root(Path.cwd())
     if args.out:
@@ -755,7 +759,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
     if args.baseline:
         baseline_path: Path | None = Path(args.baseline)
     else:
-        baseline_path = find_baseline(root, exclude=out)
+        baseline_path = find_baseline(root, exclude=out, engine=args.engine)
     if baseline_path is None:
         print("no committed BENCH_*.json baseline found; nothing to compare")
         return 0
@@ -823,6 +827,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-prime", dest="prime", action="store_false",
                    help="skip heat priming (start with an observation epoch)")
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p.add_argument("--engine", choices=("scalar", "batch"), default="scalar",
+                   help="simulation core: scalar event loop or the batched "
+                        "core (byte-identical results, faster replay)")
     _add_faults_option(p)
     _add_trace_out(p)
     p.set_defaults(func=cmd_run, prime=True)
@@ -836,6 +843,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="shuffle")
     p.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p.add_argument("--csv", help="write per-scheme CSV to this path")
+    p.add_argument("--engine", choices=("scalar", "batch"), default="scalar",
+                   help="simulation core: scalar event loop or the batched "
+                        "core (byte-identical results, faster replay)")
     _add_faults_option(p)
     _add_parallel_options(p)
     _add_trace_out(p)
@@ -889,6 +899,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSON fleet fault plan (see docs/fleet.md): "
                              "common faults, per-array plans, correlated "
                              "batch failures")
+        fp.add_argument("--engine", choices=("scalar", "batch"),
+                        default="scalar",
+                        help="per-array simulation core (byte-identical "
+                             "results, faster replay)")
         _add_parallel_options(fp)
         _add_trace_out(fp)
 
@@ -1038,6 +1052,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write-golden", metavar="PATH",
                    help="run the golden scenarios and write their result "
                         "digests to PATH (regenerates the identity pins)")
+    p.add_argument("--engine", choices=("scalar", "batch"), default="scalar",
+                   help="simulation core to benchmark; the BENCH document "
+                        "records it and baselines only match within the "
+                        "same engine")
     p.add_argument("--list", action="store_true",
                    help="list the selected scenarios and exit")
     p.set_defaults(func=cmd_perf)

@@ -81,7 +81,9 @@ def _measure(spec: Any) -> tuple[Any, str, int, int, float]:
     )
 
 
-def _run_one(scenario: PerfScenario, repeats: int) -> tuple[dict[str, Any], int]:
+def _run_one(
+    scenario: PerfScenario, repeats: int, engine: str = "scalar"
+) -> tuple[dict[str, Any], int]:
     """Run ``scenario`` ``repeats`` times; record best wall time.
 
     Returns ``(record, distinct_digests)``. The digest count is the
@@ -95,7 +97,8 @@ def _run_one(scenario: PerfScenario, repeats: int) -> tuple[dict[str, Any], int]
     digests: set[str] = set()
     events = requests = 0
     for _ in range(repeats):
-        spec = scenario.spec()  # fresh spec per repeat: policies are stateful
+        # Fresh spec per repeat: policies are stateful.
+        spec = scenario.spec(engine)
         _, digest, events, requests, wall = _measure(spec)
         best_wall = min(best_wall, wall)
         digests.add(digest)
@@ -114,6 +117,7 @@ def run_benchmark(
     scenarios: tuple[PerfScenario, ...],
     repeats: int = 3,
     log: Callable[[str], None] | None = None,
+    engine: str = "scalar",
 ) -> dict[str, Any]:
     """Run the scenarios and build a BENCH document.
 
@@ -126,7 +130,7 @@ def run_benchmark(
     records: dict[str, Any] = {}
     nondeterministic: list[str] = []
     for scenario in scenarios:
-        record, distinct = _run_one(scenario, repeats)
+        record, distinct = _run_one(scenario, repeats, engine)
         records[scenario.name] = record
         if distinct != 1:
             nondeterministic.append(scenario.name)
@@ -150,6 +154,7 @@ def run_benchmark(
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "code_version": CODE_VERSION,
         "digest_version": DIGEST_VERSION,
+        "engine": engine,
         "environment": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
@@ -176,12 +181,17 @@ def load_bench(path: str | Path) -> dict[str, Any]:
 
 
 def find_baseline(
-    root: str | Path | None = None, exclude: str | Path | None = None
+    root: str | Path | None = None,
+    exclude: str | Path | None = None,
+    engine: str | None = None,
 ) -> Path | None:
     """Newest committed BENCH file by ``generated_at``; None if none.
 
     ``exclude`` is the output path of the current run, so a rerun never
-    compares against itself.
+    compares against itself. ``engine`` restricts the search to BENCH
+    documents produced by that backend (documents predating the field
+    count as ``"scalar"``), so a committed batch-engine report never
+    becomes the throughput baseline for a scalar run or vice versa.
 
     Ties on ``generated_at`` (two files generated in the same second, or
     a copied document) are broken by file name, lexicographically last —
@@ -197,6 +207,8 @@ def find_baseline(
         try:
             doc = load_bench(path)
         except (ValueError, OSError, json.JSONDecodeError):
+            continue
+        if engine is not None and str(doc.get("engine", "scalar")) != engine:
             continue
         stamp = str(doc.get("generated_at", ""))
         if best is None or (stamp, path.name) > (best[0], best[1]):
@@ -219,6 +231,14 @@ def compare_benchmarks(
     are reported as informational lines plus a drift summary, never as
     regressions — a matrix rename or addition must not wedge the gate,
     and must not KeyError either.
+
+    Result digests are compared per scenario. A digest mismatch is a
+    regression only when both documents carry the same ``code_version``
+    and the same ``engine`` — then identical behaviour was promised and
+    broke. Across code versions (or engines, or when either document
+    predates the field) results may legitimately differ, so the mismatch
+    is reported as an informational drift line instead of failing the
+    gate.
     """
     if not 0.0 < threshold:
         raise ValueError(f"threshold must be positive, got {threshold!r}")
@@ -226,6 +246,27 @@ def compare_benchmarks(
     regressions: list[str] = []
     cur = current["scenarios"]
     base = baseline["scenarios"]
+    cur_version = current.get("code_version")
+    base_version = baseline.get("code_version")
+    cur_engine = str(current.get("engine", "scalar"))
+    base_engine = str(baseline.get("engine", "scalar"))
+    digests_gate = (
+        cur_version is not None
+        and cur_version == base_version
+        and cur_engine == base_engine
+    )
+    if (cur_version or base_version) and cur_version != base_version:
+        lines.append(
+            f"  (code_version drift: baseline {base_version or '<unversioned>'}"
+            f" -> current {cur_version or '<unversioned>'}; digest "
+            "mismatches reported as warnings, not regressions)"
+        )
+    if cur_engine != base_engine:
+        lines.append(
+            f"  (engine drift: baseline {base_engine} -> current "
+            f"{cur_engine}; digest mismatches reported as warnings, "
+            "not regressions)"
+        )
     added = sorted(set(cur) - set(base))
     removed = sorted(set(base) - set(cur))
     for name in sorted(set(cur) | set(base)):
@@ -242,6 +283,15 @@ def compare_benchmarks(
         if ratio < threshold:
             regressions.append(name)
             marker = f"  REGRESSION (< {threshold:.2f}x)"
+        old_digest = base[name].get("digest")
+        new_digest = cur[name].get("digest")
+        if old_digest and new_digest and old_digest != new_digest:
+            if digests_gate:
+                if name not in regressions:
+                    regressions.append(name)
+                marker += "  DIGEST MISMATCH (same code_version/engine)"
+            else:
+                marker += "  digest drift (informational)"
         lines.append(
             f"  {name:<28} {old:>10,.0f} -> {new:>10,.0f} ev/s "
             f"({ratio:.2f}x){marker}"

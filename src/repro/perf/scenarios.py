@@ -134,7 +134,7 @@ def _fleet_faults() -> FleetFaultPlan:
     )
 
 
-def _fleet_spec() -> FleetSpec:
+def _fleet_spec(engine: str = "scalar") -> FleetSpec:
     return FleetSpec(
         num_arrays=FLEET_ARRAYS,
         trace=_fleet_trace(FLEET_ARRAYS, duration=120.0, rate=200.0),
@@ -143,6 +143,7 @@ def _fleet_spec() -> FleetSpec:
         partitioner="block",
         goal_s=GOAL_S,
         faults=_fleet_faults(),
+        engine=engine,
     )
 
 
@@ -170,10 +171,10 @@ class PerfScenario:
     quick: bool = False
     fleet: bool = False
 
-    def spec(self) -> RunSpec | FleetSpec:
+    def spec(self, engine: str = "scalar") -> RunSpec | FleetSpec:
         """A fresh, fully self-contained run recipe for this scenario."""
         if self.fleet:
-            return _fleet_spec()
+            return _fleet_spec(engine)
         if self.policy == "base":
             policy = PolicySpec.named("base")
             goal = None
@@ -186,6 +187,7 @@ class PerfScenario:
             policy=policy,
             goal_s=goal,
             faults=_FAULTS[self.trace]() if self.faults else None,
+            engine=engine,
         )
 
 

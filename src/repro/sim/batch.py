@@ -1,0 +1,902 @@
+"""Batched simulation core: epoch advancement between decision points.
+
+:class:`BatchArraySimulation` is a drop-in replacement for
+:class:`~repro.sim.runner.ArraySimulation` selected with
+``--engine batch``. Instead of one heap pop per arrival/completion, it
+advances the run in *segments* between decision points — the next heap
+event (sampler tick, injected failure, policy timer) or the next fault
+window edge — and processes every request inside a segment data-parallel
+per disk: seek/transfer math runs over numpy columns, rotational draws
+come from bulk generator calls, and statistics fold through plain local
+accumulators.
+
+The contract is **byte identity**: a batch run must produce the exact
+``result_digest`` the scalar engine produces for the same spec
+(``tests/test_golden_identity.py`` and the cross-backend tests enforce
+it on every perf scenario). That shapes the whole design:
+
+* every floating-point chain (service time, Welford latency moments,
+  energy-meter folds) replicates the scalar operation order bit for bit
+  — numpy elementwise ops round identically to Python floats, and bulk
+  ``Generator.uniform(0, r, n)`` draws the same stream as ``n`` scalar
+  draws;
+* batching only engages for runs the scalar engine would drive through
+  the default no-op policy hooks (base policy, FCFS, no RAID-5
+  fan-out, no write cache, no observability) — anything else, and any
+  heap event the pump does not recognise, falls back to the scalar
+  event loop, rehydrating in-flight state into real heap events first;
+* fault windows become segment boundaries: inside a window the pump
+  runs a lean per-disk event loop that consults the real
+  :class:`~repro.faults.injector.DiskFaultState` (same RNG, same draw
+  sites), outside it the vectorized path never touches the fault RNG —
+  exactly like the scalar fast path.
+
+Event/sequence accounting is kept consistent in bulk
+(``engine.events_executed`` and the schedule sequence counter advance by
+the same totals the scalar loop would accumulate), so ``runtime_events``
+and event ordering against pre-scheduled heap entries are preserved. The
+one residual: *absolute* sequence numbers assigned inside a segment can
+differ from the scalar interleaving, which could only matter if a
+service completion tied a heap event to the exact float — a
+measure-zero coincidence with continuous service times.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from bisect import bisect_left, bisect_right
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.disks.disk import DiskState, MultiSpeedDisk
+from repro.policies.base import PowerPolicy
+from repro.sim.request import DiskOp, Request, RequestClass
+from repro.sim.runner import ArraySimulation
+
+_INF = math.inf
+
+
+class _Lane:
+    """Per-disk pump state: carries, meter mirror, counters.
+
+    The lane mirrors exactly the mutable per-disk state the scalar event
+    loop maintains through ``MultiSpeedDisk``; it is flushed back into
+    the disk object at decision points (sampler barriers, fallback,
+    drain) so every reader outside the pump sees scalar-identical state.
+    """
+
+    __slots__ = (
+        "free", "seek_prev", "head", "mlast", "infl", "queue", "resubs",
+        "idle_w", "act_w", "idle_j", "idle_s", "act_j", "act_s",
+        "folded_idle", "folded_act", "ops", "nbytes", "last_act",
+        "op_errors", "op_retries", "fault", "fwin",
+        "min_seek", "seek_span", "span", "rotation_s", "bps", "rng",
+    )
+
+    def __init__(self, disk: MultiSpeedDisk) -> None:
+        meter = disk.meter
+        self.free = 0.0
+        self.seek_prev = disk.head_block
+        self.head = disk.head_block
+        self.mlast = meter._last_time
+        #: In-flight op: ``(completion, start, rec)`` or None.
+        self.infl: tuple[float, float, list] | None = None
+        #: Queued op records ``[arrival, req, block, size, attempts]``.
+        self.queue: deque[list] = deque()
+        #: Pending retries: heap of ``(resubmit_time, tiebreak, rec)``.
+        self.resubs: list[tuple[float, int, list]] = []
+        rpm = disk.rpm
+        self.idle_w = disk._idle_watts(rpm)
+        self.act_w = disk._active_watts(rpm)
+        joules, seconds = meter.breakdown.joules, meter.breakdown.seconds
+        self.idle_j = joules.get("idle", 0.0)
+        self.idle_s = seconds.get("idle", 0.0)
+        self.act_j = joules.get("active", 0.0)
+        self.act_s = seconds.get("active", 0.0)
+        self.folded_idle = "idle" in joules
+        self.folded_act = "active" in joules
+        self.ops = disk.ops_completed
+        self.nbytes = disk.bytes_transferred
+        self.last_act = disk.last_activity_time
+        self.op_errors = disk.op_errors
+        self.op_retries = disk.op_retries
+        self.fault = disk.fault_state
+        # Merged (start, end) fault windows for segment-overlap tests.
+        windows: list[tuple[float, float]] = []
+        if self.fault is not None:
+            for w in self.fault._transients:
+                windows.append((w.start_s, w.end_s))
+            for w in self.fault._slows:
+                windows.append((w.start_s, w.end_s))
+        self.fwin = windows
+        # Service-time constants, identical to the scalar inlined math.
+        mech = disk.mechanics
+        self.min_seek = mech.min_seek_s
+        self.seek_span = mech._seek_span
+        span = disk.total_blocks - 1
+        if span < 1:
+            span = 1
+        self.span = span
+        cached = mech._rpm_cache.get(rpm)
+        if cached is None:
+            cached = mech._rpm_cache[rpm] = (
+                mech.spec.rotation_s(rpm), mech.spec.transfer_bps(rpm),
+            )
+        self.rotation_s, self.bps = cached
+        self.rng = disk.rng
+
+
+class BatchArraySimulation(ArraySimulation):
+    """Epoch-batched replay with scalar-identical results.
+
+    Accepts exactly the ``ArraySimulation`` constructor signature except
+    ``live`` (the serve daemon drives the scalar core). Runs that the
+    batch core cannot accelerate — custom policy hooks, RAID-5 writes,
+    observability, non-FCFS scheduling — transparently execute on the
+    inherited scalar machinery and produce identical results by
+    construction.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        if kwargs.pop("live", False):
+            raise ValueError("the batch engine does not support live mode; "
+                             "use the scalar ArraySimulation")
+        super().__init__(*args, **kwargs)
+        cls = type(self.policy)
+        hooks_default = (
+            cls.on_request_arrival is PowerPolicy.on_request_arrival
+            and cls.on_request_complete is PowerPolicy.on_request_complete
+        )
+        config = self.array.config
+        #: True once the run is (or became) scalar-driven. Static
+        #: ineligibility is decided here; runtime surprises (policy
+        #: timers, injected failures) flip it via _fallback_to_scalar.
+        self._scalar_mode = not (
+            hooks_default
+            and self.emit is None
+            and not config.raid5
+            and not config.write_cache
+            and config.scheduler == "fcfs"
+        )
+        self._pending_arrival: tuple[float, int] | None = None
+        self._pump_ready = False
+        self._frontier = 0.0
+        self._lanes: list[_Lane] = []
+        self._deliveries: list[tuple[float, int, bool]] = []
+        self._fault_edges: list[float] = []
+        self._resub_tiebreak = 0
+        self._pending_scheds = 0
+
+    # -- arrival plumbing (virtual pending arrival) -----------------------
+
+    def _schedule_next_arrival(self) -> None:
+        if self._scalar_mode:
+            super()._schedule_next_arrival()
+            return
+        i = self._next_index
+        if i < self._trace_len:
+            # Consume a real sequence number without a heap push: the
+            # pending arrival is merged against heap entries on
+            # (time, seq) exactly as if it had been scheduled.
+            engine = self.engine
+            seq = engine._seq
+            engine._seq = seq + 1
+            self._pending_arrival = (self._times[i], seq)
+        else:
+            self._pending_arrival = None
+
+    # -- driving -----------------------------------------------------------
+
+    def step(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_on_drain: bool = True,
+    ) -> int:
+        if self._scalar_mode:
+            return super().step(until, max_events, stop_on_drain)
+        if until is not None or max_events is not None or not stop_on_drain:
+            # Incremental (serve-style) driving defeats segment batching;
+            # hand the whole run to the scalar loop.
+            self._ensure_pump()
+            self._fallback_to_scalar()
+            return super().step(until, max_events, stop_on_drain)
+        if self._drain_complete:
+            return 0
+        # repro: lint-ok[DET003] wall-clock instrumentation, not a result input
+        wall_start = time.perf_counter()
+        executed = self._pump()
+        self._wall_s += time.perf_counter() - wall_start  # repro: lint-ok[DET003] instrumentation only
+        if self._drained():
+            self._drain_complete = True
+        return executed
+
+    # -- pump infrastructure ----------------------------------------------
+
+    def _ensure_pump(self) -> None:
+        if self._pump_ready:
+            return
+        self._pump_ready = True
+        trace = self.trace
+        self._times_np = trace.times
+        self._sizes_np = np.asarray(trace.sizes)
+        self._ext_np = np.asarray(trace.extents)
+        emap = self.array.extent_map
+        self._diskmap_np = np.asarray(emap._disk, dtype=np.intp)
+        self._slotmap_np = np.asarray(emap._slot, dtype=np.intp)
+        self._lanes = [_Lane(d) for d in self.array.disks]
+        edges: set[float] = set()
+        for lane in self._lanes:
+            for start, end in lane.fwin:
+                edges.add(start)
+                edges.add(end)
+        self._fault_edges = sorted(edges)
+        self._sampler_cb = self._sample_speeds
+
+    def _probe_eligibility(self) -> bool:
+        """Runtime check after ``policy.attach``: everything must be in
+        the exact steady state the vectorized math assumes."""
+        array = self.array
+        if array.redirect is not None or array.failed_disks:
+            return False
+        if any(array._reserved_slots):
+            return False
+        for disk in array.disks:
+            if disk.failed or disk.state is not DiskState.IDLE:
+                return False
+            if disk.on_idle is not None or disk.on_activity is not None:
+                return False
+            if disk.emit is not None:
+                return False
+            if disk.rpm <= 0 or disk._requested_rpm != disk.rpm:
+                return False
+        return True
+
+    def _peek_entry(self) -> tuple | None:
+        """Next live heap entry, lazily dropping cancelled handles
+        (mirrors the scalar loop's skip)."""
+        heap = self.engine._heap
+        while heap:
+            entry = heap[0]
+            if entry[2] is None and entry[3].cancelled:
+                heapq.heappop(heap)
+                continue
+            return entry
+        return None
+
+    def _have_carries(self) -> bool:
+        for lane in self._lanes:
+            if lane.infl is not None or lane.queue or lane.resubs:
+                return True
+        return False
+
+    def _next_fault_edge(self) -> float:
+        edges = self._fault_edges
+        i = bisect_right(edges, self._frontier)
+        return edges[i] if i < len(edges) else _INF
+
+    # -- the pump ----------------------------------------------------------
+
+    def _pump(self) -> int:
+        self._ensure_pump()
+        engine = self.engine
+        if not self._probe_eligibility():
+            self._fallback_to_scalar()
+            return engine.run(stop=self._drained)
+        if self._drained():
+            # Scalar semantics: run(stop=...) checks the predicate only
+            # *after* a callback, so an already-drained run still
+            # executes exactly one pending event (if any).
+            self._fallback_to_scalar()
+            return engine.run(stop=self._drained)
+        executed = 0
+        while True:
+            if self._pending_arrival is None and not self._have_carries():
+                # Workload drained: the scalar loop stops at the
+                # delivery that drained it; lingering timers never fire.
+                break
+            top = self._peek_entry()
+            t_top = top[0] if top is not None else _INF
+            edge = self._next_fault_edge()
+            seg_end = edge if edge < t_top else t_top
+            executed += self._advance_segment(
+                seg_end, top if seg_end == t_top else None)
+            if self._pending_arrival is None and not self._have_carries():
+                # The workload drained inside the segment: the scalar
+                # loop's stop predicate fires right after that delivery,
+                # so the barrier event at seg_end never executes.
+                break
+            if seg_end == _INF:
+                continue
+            self._frontier = seg_end
+            if seg_end < t_top:
+                continue  # internal fault-window edge, no event
+            # The heap event at seg_end is due: all simulated work
+            # strictly before it (plus tie-winning arrivals) is done.
+            if top[2] is not None and top[2] == self._sampler_cb:
+                # Light barrier: the sampler only reads meter watts and
+                # rpms; flush the meters, fire it, keep batching.
+                self._flush_meters()
+                heapq.heappop(engine._heap)
+                engine._live -= 1
+                engine._now = seg_end
+                top[2](*top[3])
+                engine.events_executed += 1
+                executed += 1
+                continue
+            # Unknown decision point (injected failure, policy timer,
+            # cancellable handle): rehydrate and finish on the scalar
+            # event loop.
+            self._fallback_to_scalar()
+            return executed + engine.run(stop=self._drained)
+        self._flush_all()
+        return executed
+
+    def _advance_segment(self, seg_end: float, top: tuple | None) -> int:
+        """Process every event in ``[frontier, seg_end)``; returns the
+        number of events the scalar loop would have executed."""
+        engine = self.engine
+        i0 = self._next_index
+        pa = self._pending_arrival
+        i1 = i0
+        if pa is not None:
+            if seg_end == _INF:
+                i1 = self._trace_len
+            else:
+                i1 = bisect_left(self._times, seg_end, i0)
+                if (i1 == i0 and top is not None and pa[0] == seg_end
+                        and pa[1] < top[1]):
+                    # The pending arrival ties the heap event and was
+                    # scheduled first: it fires before the barrier.
+                    i1 = i0 + 1
+        k = i1 - i0
+        lanes = self._lanes
+        num_disks = len(lanes)
+        seg_start = self._frontier
+        per_disk: list[tuple | None] = [None] * num_disks
+        if k:
+            ext = self._ext_np[i0:i1]
+            if len(ext) and (ext.min() < 0 or ext.max() >= self.array._num_extents):
+                for e in ext.tolist():
+                    if not 0 <= e < self.array._num_extents:
+                        raise ValueError(f"extent {e} out of range")
+            dks = self._diskmap_np[ext]
+            blks = self._slotmap_np[ext]
+            tms = self._times_np[i0:i1]
+            szs = self._sizes_np[i0:i1]
+            order = np.argsort(dks, kind="stable")
+            dks_sorted = dks[order]
+            bounds = np.searchsorted(dks_sorted, np.arange(num_disks + 1))
+            for d in range(num_disks):
+                a, b = bounds[d], bounds[d + 1]
+                if a == b:
+                    continue
+                idx = order[a:b]
+                per_disk[d] = (tms[idx], blks[idx], szs[idx], (idx + i0).tolist())
+            self._next_index = i1
+            self._outstanding += k
+        deliveries = self._deliveries
+        starts = attempts = resub_events = scheds = 0
+        last_event = -_INF
+        if k:
+            last_event = float(tms[-1])
+        for d in range(num_disks):
+            lane = lanes[d]
+            grp = per_disk[d]
+            if grp is None and lane.infl is None and not lane.queue and not lane.resubs:
+                continue
+            if lane.fault is not None and (
+                lane.resubs
+                or any(s < seg_end and e > seg_start for s, e in lane.fwin)
+            ):
+                s_n, a_n, r_n, last = self._run_lean(lane, grp, seg_end, deliveries)
+                resub_events += r_n
+            else:
+                s_n, a_n, last = self._run_clean(lane, grp, seg_end, deliveries)
+            starts += s_n
+            attempts += a_n
+            if last > last_event:
+                last_event = last
+        # Scalar sequence-number consumption inside the segment: one per
+        # service start plus one per scheduled retry (_run_lean folds the
+        # latter into _pending_scheds).
+        engine.events_executed += k + attempts + resub_events
+        engine._seq += starts + self._pending_scheds
+        self._pending_scheds = 0
+        if k:
+            if i1 < self._trace_len:
+                engine._seq += k
+                self._pending_arrival = (self._times[i1], engine._seq - 1)
+            else:
+                engine._seq += k - 1
+                self._pending_arrival = None
+        if deliveries:
+            self._fold_deliveries(deliveries)
+        if last_event > engine._now:
+            engine._now = last_event
+        return k + attempts + resub_events
+
+    # -- clean segment: vectorized service math ---------------------------
+
+    def _run_clean(
+        self,
+        lane: _Lane,
+        grp: tuple | None,
+        seg_end: float,
+        deliveries: list,
+    ) -> tuple[int, int, float]:
+        """No fault window overlaps the segment and no retries are
+        pending: the whole chain is one free-time recurrence over
+        precomputed service components. Returns
+        ``(service_starts, completion_attempts, last_event_time)``."""
+        attempts = 0
+        last_event = -_INF
+        mlast = lane.mlast
+        idle_w, act_w = lane.idle_w, lane.act_w
+        idle_j, idle_s = lane.idle_j, lane.idle_s
+        act_j, act_s = lane.act_j, lane.act_s
+        folded_idle, folded_act = lane.folded_idle, lane.folded_act
+        append = deliveries.append
+        # 1) carried in-flight op.
+        if lane.infl is not None:
+            c0, s0, rec = lane.infl
+            if c0 >= seg_end:
+                # Busy past the horizon: arrivals can only queue.
+                if grp is not None:
+                    tms, blks, szs, reqs = grp
+                    blk_l = blks.tolist()
+                    siz_l = szs.tolist()
+                    tms_l = tms.tolist()
+                    q_append = lane.queue.append
+                    for j in range(len(reqs)):
+                        q_append([tms_l[j], reqs[j], blk_l[j], siz_l[j], 0])
+                    if tms_l[-1] > lane.last_act:
+                        lane.last_act = tms_l[-1]
+                return 0, 0, last_event
+            el = c0 - mlast
+            if el > 0.0:
+                act_j += act_w * el
+                act_s += el
+                folded_act = True
+            mlast = c0
+            lane.free = c0
+            lane.head = rec[2]
+            lane.ops += 1
+            lane.nbytes += rec[3]
+            if c0 > lane.last_act:
+                lane.last_act = c0
+            append((c0, rec[1], False))
+            attempts += 1
+            last_event = c0
+            lane.infl = None
+        # 2) candidates: carried queue, then this segment's arrivals.
+        nq = len(lane.queue)
+        if grp is not None:
+            tms, blks, szs, reqs = grp
+        else:
+            tms = blks = szs = None
+            reqs = []
+        if nq:
+            q = lane.queue
+            qa = np.fromiter((r[0] for r in q), dtype=np.float64, count=nq)
+            qb = np.fromiter((r[2] for r in q), dtype=np.int64, count=nq)
+            qs = np.fromiter((r[3] for r in q), dtype=np.int64, count=nq)
+            atts = [r[4] for r in q]
+            req_l = [r[1] for r in q]
+            if tms is not None:
+                arrs = np.concatenate((qa, tms))
+                blocks = np.concatenate((qb, blks))
+                sizes = np.concatenate((qs, szs))
+                atts += [0] * len(reqs)
+                req_l += reqs
+            else:
+                arrs, blocks, sizes = qa, qb, qs
+            lane.queue = deque()
+        elif tms is not None:
+            arrs, blocks, sizes = tms, blks, szs
+            atts = None  # all zero
+            req_l = reqs
+        else:
+            self._store_lane_folds(
+                lane, mlast, idle_j, idle_s, act_j, act_s, folded_idle, folded_act)
+            return 0, attempts, last_event
+        n = len(blocks)
+        # Service components, scalar operation order: dist = |Δblock| /
+        # span, clamped; seek = 0 or min + span_coef * sqrt(dist);
+        # service = (seek + rotation) + size / bps.
+        prev = np.empty(n, dtype=blocks.dtype)
+        prev[0] = lane.seek_prev
+        if n > 1:
+            prev[1:] = blocks[:-1]
+        dist = np.abs(blocks - prev) / lane.span
+        np.minimum(dist, 1.0, out=dist)
+        seek = np.where(
+            dist == 0.0, 0.0, lane.min_seek + lane.seek_span * np.sqrt(dist))
+        xfer = sizes / lane.bps
+        rng = lane.rng
+        if rng is None:
+            half = lane.rotation_s / 2.0
+            svc_l = ((seek + half) + xfer).tolist()
+            seek_l = xfer_l = None
+        elif seg_end == _INF:
+            # The whole chain runs to completion, so every candidate's
+            # rotation is drawn — a bulk draw is the identical stream.
+            rot = rng.uniform(0.0, lane.rotation_s, n)
+            svc_l = ((seek + rot) + xfer).tolist()
+            seek_l = xfer_l = None
+        else:
+            # Bounded horizon: only ops that actually start may draw.
+            svc_l = None
+            seek_l = seek.tolist()
+            xfer_l = xfer.tolist()
+            uniform = rng.uniform
+            rotation_s = lane.rotation_s
+        arr_l = arrs.tolist()
+        blk_l = blocks.tolist()
+        siz_l = sizes.tolist()
+        free = lane.free
+        seek_prev = lane.seek_prev
+        head = lane.head
+        ops = lane.ops
+        nbytes = lane.nbytes
+        last_act = lane.last_act
+        starts = 0
+        stop_at = n
+        for j in range(n):
+            a = arr_l[j]
+            start = a if a > free else free
+            if start >= seg_end:
+                stop_at = j
+                break
+            if svc_l is None:
+                svc = (seek_l[j] + float(uniform(0.0, rotation_s))) + xfer_l[j]
+            else:
+                svc = svc_l[j]
+            el = start - mlast
+            if el > 0.0:
+                idle_j += idle_w * el
+                idle_s += el
+                folded_idle = True
+            mlast = start
+            starts += 1
+            seek_prev = blk_l[j]
+            c = start + svc
+            if c >= seg_end:
+                lane.infl = (
+                    c, start,
+                    [a, req_l[j], blk_l[j], siz_l[j],
+                     atts[j] if atts is not None else 0],
+                )
+                free = c
+                stop_at = j + 1
+                break
+            el = c - start
+            if el > 0.0:
+                act_j += act_w * el
+                act_s += el
+                folded_act = True
+            mlast = c
+            free = c
+            head = blk_l[j]
+            ops += 1
+            nbytes += siz_l[j]
+            append((c, req_l[j], False))
+            attempts += 1
+            if c > last_event:
+                last_event = c
+            last_act = c
+        if stop_at < n:
+            q_append = lane.queue.append
+            for j in range(stop_at, n):
+                q_append([arr_l[j], req_l[j], blk_l[j], siz_l[j],
+                          atts[j] if atts is not None else 0])
+        if grp is not None:
+            t_last = arr_l[-1] if nq == 0 else float(tms[-1])
+            if t_last > last_act:
+                last_act = t_last
+        lane.free = free
+        lane.seek_prev = seek_prev
+        lane.head = head
+        lane.ops = ops
+        lane.nbytes = nbytes
+        lane.last_act = last_act
+        self._store_lane_folds(
+            lane, mlast, idle_j, idle_s, act_j, act_s, folded_idle, folded_act)
+        return starts, attempts, last_event
+
+    # -- fault segment: lean per-disk event loop ---------------------------
+
+    def _run_lean(
+        self,
+        lane: _Lane,
+        grp: tuple | None,
+        seg_end: float,
+        deliveries: list,
+    ) -> tuple[int, int, int, float]:
+        """A fault window overlaps the segment (or retries are pending):
+        run a per-disk event merge that consults the real fault state —
+        same draw sites, same retry arithmetic as the scalar disk.
+        Returns ``(starts, attempts, resub_events, last_event_time)``."""
+        fault = lane.fault
+        assert fault is not None
+        retry = fault.retry
+        rng = lane.rng
+        min_seek, seek_span, span = lane.min_seek, lane.seek_span, lane.span
+        rotation_s, bps = lane.rotation_s, lane.bps
+        slow_factor = fault.slow_factor
+        should_error = fault.should_error
+        sqrt = math.sqrt
+        if grp is not None:
+            tms, blks, szs, reqs = grp
+            arr_l = tms.tolist()
+            blk_l = blks.tolist()
+            siz_l = szs.tolist()
+            n = len(reqs)
+        else:
+            arr_l = blk_l = siz_l = []
+            reqs = []
+            n = 0
+        i = 0
+        queue = lane.queue
+        resubs = lane.resubs
+        infl = lane.infl
+        mlast = lane.mlast
+        idle_w, act_w = lane.idle_w, lane.act_w
+        idle_j, idle_s = lane.idle_j, lane.idle_s
+        act_j, act_s = lane.act_j, lane.act_s
+        folded_idle, folded_act = lane.folded_idle, lane.folded_act
+        seek_prev = lane.seek_prev
+        append = deliveries.append
+        heappush, heappop = heapq.heappush, heapq.heappop
+        starts = attempts = resub_events = scheds = 0
+        last_event = -_INF
+        max_attempts = retry.max_attempts
+        while True:
+            tc = infl[0] if infl is not None else _INF
+            tr = resubs[0][0] if resubs else _INF
+            ta = arr_l[i] if i < n else _INF
+            t = tc if tc <= tr else tr
+            if ta < t:
+                t = ta
+            if t >= seg_end:
+                break
+            if t == tc and tc <= tr:
+                now, s0, rec = infl
+                attempts += 1
+                last_event = now
+                el = now - mlast
+                if el > 0.0:
+                    act_j += act_w * el
+                    act_s += el
+                    folded_act = True
+                mlast = now
+                infl = None
+                lane.head = rec[2]
+                lane.last_act = now
+                if should_error(now):
+                    lane.op_errors += 1
+                    rec[4] += 1
+                    if rec[4] >= max_attempts:
+                        append((now, rec[1], True))
+                    else:
+                        lane.op_retries += 1
+                        backoff = retry.backoff_for(rec[4])
+                        scheds += 1
+                        self._resub_tiebreak += 1
+                        heappush(resubs, (now + backoff, self._resub_tiebreak, rec))
+                else:
+                    lane.ops += 1
+                    lane.nbytes += rec[3]
+                    append((now, rec[1], False))
+            elif t == tr:
+                now, _, rec = heappop(resubs)
+                resub_events += 1
+                last_event = now
+                queue.append(rec)
+                lane.last_act = now
+                if infl is not None:
+                    continue
+            else:
+                now = ta
+                queue.append([now, reqs[i], blk_l[i], siz_l[i], 0])
+                i += 1
+                lane.last_act = now
+                if infl is not None:
+                    continue
+            if infl is None and queue:
+                # Start the next service, scalar math inline.
+                rec = queue.popleft()
+                el = now - mlast
+                if el > 0.0:
+                    idle_j += idle_w * el
+                    idle_s += el
+                    folded_idle = True
+                mlast = now
+                blk = rec[2]
+                distance = abs(blk - seek_prev) / span
+                if distance > 1.0:
+                    distance = 1.0
+                seek = 0.0 if distance == 0.0 else min_seek + seek_span * sqrt(distance)
+                rotation = rotation_s / 2.0 if rng is None else float(
+                    rng.uniform(0.0, rotation_s))
+                svc = seek + rotation + rec[3] / bps
+                svc *= slow_factor(now)
+                infl = (now + svc, now, rec)
+                seek_prev = blk
+                starts += 1
+        # Arrivals at exactly seg_end (barrier tie-winners) only queue.
+        while i < n:
+            queue.append([arr_l[i], reqs[i], blk_l[i], siz_l[i], 0])
+            if arr_l[i] > lane.last_act:
+                lane.last_act = arr_l[i]
+            i += 1
+        lane.infl = infl
+        lane.seek_prev = seek_prev
+        self._pending_scheds += scheds
+        self._store_lane_folds(
+            lane, mlast, idle_j, idle_s, act_j, act_s, folded_idle, folded_act)
+        return starts, attempts, resub_events, last_event
+
+    def _store_lane_folds(
+        self, lane: _Lane, mlast: float,
+        idle_j: float, idle_s: float, act_j: float, act_s: float,
+        folded_idle: bool, folded_act: bool,
+    ) -> None:
+        lane.mlast = mlast
+        lane.idle_j = idle_j
+        lane.idle_s = idle_s
+        lane.act_j = act_j
+        lane.act_s = act_s
+        lane.folded_idle = folded_idle
+        lane.folded_act = folded_act
+
+    # -- delivery fold -----------------------------------------------------
+
+    def _fold_deliveries(self, deliveries: list) -> None:
+        """Deliver completions in global time order: latency Welford,
+        deficit/window accounting, array counters — exactly the work
+        ``runner._complete`` plus the array's ``_op_done`` do."""
+        deliveries.sort()
+        times = self._times
+        st = self.latency.stats
+        n, total, mean = st.n, st.total, st.mean
+        m2, mn, mx = st._m2, st.min, st.max
+        keep = self.latency.keep_samples
+        samples_append = self.latency._samples.append
+        deficit = self.deficit
+        windows = self._latency_windows
+        fg = failed_n = 0
+        for c, req, bad in deliveries:
+            if bad:
+                failed_n += 1
+                continue
+            lat = c - times[req]
+            n += 1
+            total += lat
+            delta = lat - mean
+            mean += delta / n
+            m2 += delta * (lat - mean)
+            if lat < mn:
+                mn = lat
+            if lat > mx:
+                mx = lat
+            if keep:
+                samples_append(lat)
+            if deficit is not None:
+                deficit.add(lat)
+            if windows is not None:
+                windows.add(c, lat)
+            fg += 1
+        st.n, st.total, st.mean = n, total, mean
+        st._m2, st.min, st.max = m2, mn, mx
+        array = self.array
+        array.foreground_completed += fg
+        if failed_n:
+            array.failed_requests += failed_n
+            self.failed_requests += failed_n
+        self._outstanding -= fg + failed_n
+        deliveries.clear()
+
+    # -- flush & fallback --------------------------------------------------
+
+    def _flush_meters(self) -> None:
+        for lane, disk in zip(self._lanes, self.array.disks):
+            meter = disk.meter
+            joules, seconds = meter.breakdown.joules, meter.breakdown.seconds
+            if lane.folded_idle:
+                joules["idle"] = lane.idle_j
+                seconds["idle"] = lane.idle_s
+            if lane.folded_act:
+                joules["active"] = lane.act_j
+                seconds["active"] = lane.act_s
+            meter._last_time = lane.mlast
+            if lane.infl is not None:
+                meter._watts = lane.act_w
+                meter._label = "active"
+            else:
+                meter._watts = lane.idle_w
+                meter._label = "idle"
+
+    def _flush_all(self) -> None:
+        self._flush_meters()
+        for lane, disk in zip(self._lanes, self.array.disks):
+            disk.head_block = lane.head
+            disk.last_activity_time = lane.last_act
+            disk.ops_completed = lane.ops
+            disk.bytes_transferred = lane.nbytes
+            disk.op_errors = lane.op_errors
+            disk.op_retries = lane.op_retries
+
+    def _make_op(self, rec: list, disk_index: int) -> DiskOp:
+        """Rebuild the Request + DiskOp pair (with the array's
+        completion closure) for a carried op during fallback."""
+        arrival, req_idx, blk, size, att = rec
+        request = Request(
+            req_id=req_idx,
+            arrival=self._times[req_idx],
+            kind=self._kinds[req_idx],
+            extent=self._extents[req_idx],
+            offset=self._offsets[req_idx],
+            size=self._sizes[req_idx],
+        )
+        request.ops_outstanding = 1
+        array = self.array
+        sim_complete = self._complete
+
+        def _op_done(op: DiskOp, request: Request = request) -> None:
+            if op.failed:
+                request.failed = True
+            request.ops_outstanding -= 1
+            if request.ops_outstanding == 0:
+                request.completion = array.engine.now
+                if request.failed:
+                    array.failed_requests += 1
+                elif request.klass is RequestClass.FOREGROUND:
+                    array.foreground_completed += 1
+                sim_complete(request)
+
+        op = DiskOp(
+            request=request,
+            kind=request.kind,
+            disk_index=disk_index,
+            block=blk,
+            size=size,
+            on_complete=_op_done,
+        )
+        op.enqueued = arrival
+        op.attempts = att
+        return op
+
+    def _fallback_to_scalar(self) -> None:
+        """Materialize pump state into real engine/disk state and hand
+        the rest of the run to the inherited scalar event loop."""
+        engine = self.engine
+        if self._pump_ready:
+            self._flush_all()
+            for d, (lane, disk) in enumerate(zip(self._lanes, self.array.disks)):
+                for rec in lane.queue:
+                    disk.queue.push(self._make_op(rec, d))
+                lane.queue.clear()
+                if lane.infl is not None:
+                    c, s0, rec = lane.infl
+                    op = self._make_op(rec, d)
+                    op.started = s0
+                    disk._in_flight = op
+                    disk.state = DiskState.ACTIVE
+                    engine.schedule_fast(c, disk._complete, (op,))
+                    lane.infl = None
+                for r, _, rec in lane.resubs:
+                    engine.schedule_fast(r, disk._resubmit, (self._make_op(rec, d),))
+                lane.resubs = []
+        pa = self._pending_arrival
+        if pa is not None:
+            # Re-insert with the sequence number reserved at allocation
+            # time so its ordering against heap entries is preserved.
+            heapq.heappush(engine._heap, (pa[0], pa[1], self._arrive, ()))
+            engine._live += 1
+            self._pending_arrival = None
+        self._scalar_mode = True

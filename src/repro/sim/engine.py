@@ -39,9 +39,10 @@ class EventHandle:
     Attributes:
         time: simulated time at which the event fires.
         cancelled: True once :meth:`cancel` has been called.
+        fired: True once the engine has executed the event.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_engine")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_engine")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple,
                  engine: "Engine | None" = None):
@@ -50,17 +51,24 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
         self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call more than once."""
-        if not self.cancelled and self._engine is not None:
+        """Prevent the event from firing. Safe to call more than once.
+
+        Cancelling after the event has already fired is a no-op for the
+        live count: the engine decremented it when it popped the entry.
+        """
+        if not self.cancelled and not self.fired and self._engine is not None:
             self._engine._live -= 1
         self.cancelled = True
-        # Drop references so cancelled events do not pin large objects
-        # while they wait to be popped from the heap.
+        # Drop references so cancelled (or fired) handles do not pin
+        # large objects — including the engine and its heap — while the
+        # caller retains the handle.
         self.callback = _noop
         self.args = ()
+        self._engine = None
 
     def __lt__(self, other: "EventHandle") -> bool:
         if self.time != other.time:
@@ -222,6 +230,12 @@ class Engine:
                 self._now = entry[0]
                 if callback is None:
                     handle = entry[3]
+                    # Mark consumed *before* invoking: a cancel() during
+                    # or after the callback must not decrement the live
+                    # count a second time, and the handle no longer needs
+                    # to pin the engine.
+                    handle.fired = True
+                    handle._engine = None
                     handle.callback(*handle.args)
                 else:
                     callback(*entry[3])

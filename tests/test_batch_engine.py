@@ -1,0 +1,184 @@
+"""Cross-backend identity: the batch engine vs the scalar engine.
+
+The batch core (:mod:`repro.sim.batch`) promises *byte-identical*
+results to the scalar engine — same digests, same RNG stream, same
+event ordering — for every spec, falling back to the scalar loop
+whenever a feature it cannot vectorize is in play. These tests enforce
+that promise three ways:
+
+* the full perf-scenario matrix, serially and through the jobs=2
+  executor, against scalar reference digests;
+* the golden specs against the committed pin file (the same pins the
+  scalar engine is held to);
+* a hypothesis property test over randomized synthetic workloads
+  (seed, burst shape, goal, and a one-failure fault plan).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import default_array_config, run_single
+from repro.analysis.parallel import (
+    ENGINE_NAMES,
+    PolicySpec,
+    RunSpec,
+    TraceSpec,
+    execute,
+    run_spec,
+    simulation_class,
+)
+from repro.faults.plan import DiskFailure, FaultPlan
+from repro.fleet.executor import run_fleet
+from repro.fleet.spec import FleetSpec
+from repro.perf.digest import fleet_result_digest, result_digest
+from repro.perf.scenarios import PERF_SCENARIOS, golden_specs
+from repro.policies.always_on import AlwaysOnPolicy
+from repro.sim.batch import BatchArraySimulation
+from repro.sim.runner import ArraySimulation
+from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_results.json"
+
+
+def _digest(spec) -> str:
+    if isinstance(spec, FleetSpec):
+        return fleet_result_digest(run_fleet(spec))
+    return result_digest(run_spec(spec))
+
+
+@pytest.fixture(scope="module")
+def scalar_reference():
+    """Scalar digests for every perf scenario (computed once)."""
+    return {s.name: _digest(s.spec("scalar")) for s in PERF_SCENARIOS}
+
+
+class TestEngineSelector:
+    def test_known_engines(self):
+        assert ENGINE_NAMES == ("scalar", "batch")
+        assert simulation_class("scalar") is ArraySimulation
+        assert simulation_class("batch") is BatchArraySimulation
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulation_class("vectorized")
+
+    def test_fleet_spec_validates_engine(self):
+        spec = golden_specs()["golden-fleet"]
+        with pytest.raises(ValueError, match="unknown engine"):
+            dataclasses.replace(spec, engine="vectorized")
+
+    def test_batch_rejects_live_mode(self):
+        trace = generate_synthetic(SyntheticConfig(duration=1.0, rate=5.0,
+                                                   num_extents=100))
+        config = default_array_config(num_disks=2, num_extents=100)
+        with pytest.raises(ValueError, match="live"):
+            BatchArraySimulation(trace=trace, array_config=config,
+                                 policy=AlwaysOnPolicy(), live=True)
+
+
+class TestPerfMatrixIdentity:
+    @pytest.mark.parametrize("name", [s.name for s in PERF_SCENARIOS])
+    def test_serial_identity(self, name, scalar_reference):
+        scenario = next(s for s in PERF_SCENARIOS if s.name == name)
+        assert _digest(scenario.spec("batch")) == scalar_reference[name], (
+            f"{name}: batch engine produced different bytes than scalar"
+        )
+
+    def test_parallel_identity(self, scalar_reference):
+        """jobs=2 batch runs must match the scalar reference too."""
+        arrays = [s for s in PERF_SCENARIOS if not s.fleet]
+        results = execute([s.spec("batch") for s in arrays], jobs=2)
+        for scenario, result in zip(arrays, results):
+            assert result_digest(result) == scalar_reference[scenario.name], (
+                f"{scenario.name}: jobs=2 batch run produced different bytes"
+            )
+        for scenario in (s for s in PERF_SCENARIOS if s.fleet):
+            fleet_result = run_fleet(scenario.spec("batch"), jobs=2)
+            assert (fleet_result_digest(fleet_result)
+                    == scalar_reference[scenario.name]), (
+                f"{scenario.name}: sharded batch fleet produced different bytes"
+            )
+
+
+class TestGoldenIdentity:
+    def test_batch_reproduces_the_golden_pins(self):
+        pinned = json.loads(GOLDEN_PATH.read_text())["digests"]
+        for name, spec in sorted(golden_specs().items()):
+            batch_spec = dataclasses.replace(spec, engine="batch")
+            assert _digest(batch_spec) == pinned[name], (
+                f"{name}: batch engine diverged from the golden pin"
+            )
+
+
+# --- randomized property: batch == scalar on synthetic workloads --------
+
+_RATE_SHAPES = {
+    "flat": None,
+    # Both callables stay within [0, peak_rate=60] as the thinning
+    # sampler requires.
+    "sine": lambda t: 30.0 + 25.0 * np.sin(2.0 * np.pi * t / 20.0),
+    "square": lambda t: np.where((t % 15.0) < 5.0, 55.0, 8.0),
+}
+
+
+def _random_case(seed: int, shape: str, fail_at: float | None):
+    trace = generate_synthetic(SyntheticConfig(
+        name=f"prop-{shape}-{seed}",
+        duration=40.0,
+        rate=60.0,
+        num_extents=200,
+        seed=seed,
+        rate_fn=_RATE_SHAPES[shape],
+    ))
+    config = default_array_config(num_disks=4, num_extents=200, seed=7)
+    faults = None
+    if fail_at is not None:
+        faults = FaultPlan(disk_failures=(DiskFailure(time_s=fail_at, disk=1),))
+    return trace, config, faults
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    shape=st.sampled_from(sorted(_RATE_SHAPES)),
+    goal=st.sampled_from([None, 0.02, 0.25]),
+    fail_at=st.one_of(st.none(), st.floats(min_value=1.0, max_value=35.0,
+                                           allow_nan=False)),
+)
+@settings(max_examples=12, deadline=None)
+def test_property_batch_matches_scalar_serial(seed, shape, goal, fail_at):
+    trace, config, faults = _random_case(seed, shape, fail_at)
+    digests = {
+        engine: result_digest(run_single(
+            trace, config, AlwaysOnPolicy(), goal_s=goal, faults=faults,
+            engine=engine))
+        for engine in ENGINE_NAMES
+    }
+    assert digests["batch"] == digests["scalar"]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    shape=st.sampled_from(sorted(_RATE_SHAPES)),
+    fail_at=st.one_of(st.none(), st.floats(min_value=1.0, max_value=35.0,
+                                           allow_nan=False)),
+)
+@settings(max_examples=3, deadline=None)
+def test_property_batch_matches_scalar_jobs2(seed, shape, fail_at):
+    """The same property through the multiprocess executor."""
+    trace, config, faults = _random_case(seed, shape, fail_at)
+    trace_spec = TraceSpec.from_trace(trace)
+    specs = [
+        RunSpec(trace=trace_spec, array=config, policy=PolicySpec.named("base"),
+                faults=faults, engine=engine)
+        for engine in ENGINE_NAMES
+    ]
+    scalar_result, batch_result = execute(specs, jobs=2)
+    assert result_digest(batch_result) == result_digest(scalar_result)

@@ -301,3 +301,40 @@ def test_fast_events_pass_args_tuple(engine):
     engine.schedule_fast(1.0, lambda a, b: seen.append((a, b)), (1, 2))
     engine.run()
     assert seen == [(1, 2)]
+
+
+def test_cancel_after_fire_keeps_pending_events_exact(engine):
+    """Cancelling a handle whose event already fired must not decrement
+    the live counter again (regression: pending_events went negative)."""
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    engine.run(until=1.5)
+    assert handle.fired
+    assert engine.pending_events == 1
+    handle.cancel()
+    handle.cancel()
+    assert engine.pending_events == 1
+    engine.run()
+    assert engine.pending_events == 0
+
+
+def test_cancel_during_own_callback_keeps_count_exact(engine):
+    """A handle that cancels itself from inside its callback is already
+    consumed; the live count must stay exact."""
+    handles = []
+    handles.append(engine.schedule(1.0, lambda: handles[0].cancel()))
+    engine.schedule(2.0, lambda: None)
+    engine.run()
+    assert engine.pending_events == 0
+
+
+def test_cancel_releases_engine_reference(engine):
+    handle = engine.schedule(1.0, lambda: None)
+    handle.cancel()
+    assert handle._engine is None
+
+
+def test_fired_handle_releases_engine_reference(engine):
+    handle = engine.schedule(1.0, lambda: None)
+    engine.run()
+    assert handle._engine is None

@@ -301,8 +301,9 @@ def test_tree_is_lint_clean():
 
 
 def test_code_version_was_bumped_for_this_change():
-    """This PR restructures the runner into begin/step/finalize and adds
-    runtime fault injection. Batch results are digest-identical by
-    construction (the golden pins prove it), but the semantics-bearing
-    modules changed, so the guard demands a bump."""
-    assert CODE_VERSION == "2026.08-6"
+    """This PR adds the batch execution core and fixes the engine's
+    fire-then-cancel live accounting. Batch results are digest-identical
+    by construction (the golden pins and the cross-engine tests prove
+    it), but the semantics-bearing modules changed, so the guard demands
+    a bump."""
+    assert CODE_VERSION == "2026.08-7"
