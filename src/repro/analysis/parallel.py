@@ -47,7 +47,16 @@ from repro.policies.tpm import TpmConfig, TpmPolicy
 from repro.traces.cello import CelloConfig, generate_cello
 from repro.traces.model import Trace
 from repro.traces.oltp import OltpConfig, generate_oltp
-from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+from repro.traces.synthetic import (
+    FlashCrowdConfig,
+    MultiTenantConfig,
+    SyntheticConfig,
+    WriteBurstConfig,
+    generate_flash_crowd,
+    generate_multi_tenant,
+    generate_synthetic,
+    generate_write_burst,
+)
 from repro.traces.tracestats import per_extent_rates
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -60,6 +69,9 @@ TRACE_GENERATORS: dict[str, tuple[type, Callable[..., Trace]]] = {
     "oltp": (OltpConfig, generate_oltp),
     "cello": (CelloConfig, generate_cello),
     "synthetic": (SyntheticConfig, generate_synthetic),
+    "flashcrowd": (FlashCrowdConfig, generate_flash_crowd),
+    "multitenant": (MultiTenantConfig, generate_multi_tenant),
+    "writeburst": (WriteBurstConfig, generate_write_burst),
 }
 
 
@@ -71,7 +83,13 @@ class TraceSpec:
 
     * ``generator``/``config`` — regenerate from a registered generator
       inside the worker (cheapest to ship, key is the recipe);
-    * ``path`` — load a trace file inside the worker (key is the path);
+    * ``path`` — load a trace file inside the worker. With ``format``
+      set, the file goes through :func:`repro.traces.ingest.import_trace`
+      (``options`` is the :class:`~repro.traces.ingest.IngestOptions`);
+      otherwise it is a native :func:`~repro.traces.io.load_trace` file.
+      Either way the key is the *content hash* of the file (plus format
+      and options), never the path — moving or renaming the file keeps
+      cached results valid, editing it invalidates them;
     * ``trace`` — carry a materialized trace (key is its content hash).
     """
 
@@ -79,6 +97,8 @@ class TraceSpec:
     config: Any = None
     path: str | None = None
     trace: Trace | None = None
+    format: str | None = None
+    options: Any = None
 
     @classmethod
     def from_generator(cls, generator: str, config: Any) -> "TraceSpec":
@@ -97,6 +117,17 @@ class TraceSpec:
         return cls(path=str(path))
 
     @classmethod
+    def from_import(cls, path: str, format: str, options: Any = None) -> "TraceSpec":
+        """Spec for a foreign-format trace file (see :mod:`repro.traces.ingest`)."""
+        from repro.traces.ingest import INGEST_FORMATS
+
+        if format not in INGEST_FORMATS:
+            raise ValueError(
+                f"unknown ingest format {format!r}; known: {sorted(INGEST_FORMATS)}"
+            )
+        return cls(path=str(path), format=format, options=options)
+
+    @classmethod
     def from_trace(cls, trace: Trace) -> "TraceSpec":
         return cls(trace=trace)
 
@@ -105,6 +136,10 @@ class TraceSpec:
         if self.trace is not None:
             return self.trace
         if self.path is not None:
+            if self.format is not None:
+                from repro.traces.ingest import import_trace
+
+                return import_trace(self.path, self.format, self.options).trace
             from repro.traces.io import load_trace
 
             return load_trace(self.path)
@@ -112,6 +147,17 @@ class TraceSpec:
             raise ValueError("empty TraceSpec: set generator, path or trace")
         _, generate = TRACE_GENERATORS[self.generator]
         return generate(self.config)
+
+    def _source_sha256(self) -> str:
+        """Content hash of ``path``, memoized per spec instance (file
+        contents are assumed stable for the spec's lifetime)."""
+        memo = self.__dict__.get("_sha256_memo")
+        if memo is None:
+            from repro.traces.ingest import file_sha256
+
+            memo = file_sha256(self.path)  # type: ignore[arg-type]
+            self.__dict__["_sha256_memo"] = memo
+        return memo
 
     def cache_key(self) -> dict[str, Any]:
         if self.trace is not None:
@@ -123,7 +169,14 @@ class TraceSpec:
                 "columns": [t.times, t.kinds, t.extents, t.offsets, t.sizes],
             }
         if self.path is not None:
-            return {"kind": "file", "path": self.path}
+            # Keyed by content, not path: the key must change iff the
+            # source file's bytes change.
+            return {
+                "kind": "file",
+                "sha256": self._source_sha256(),
+                "format": self.format,
+                "options": self.options,
+            }
         return {"kind": "generator", "generator": self.generator, "config": self.config}
 
 

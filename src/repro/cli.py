@@ -4,6 +4,8 @@ Drive the library without writing Python::
 
     python -m repro gen-trace --kind oltp --duration 600 -o oltp.csv
     python -m repro trace-stats oltp.csv
+    python -m repro trace import msr-sample.csv.gz --format msr -o real.csv.gz
+    python -m repro trace stats real.csv.gz
     python -m repro run --policy hibernator --trace oltp.csv --slack 2.0
     python -m repro compare --trace oltp.csv --slack 2.0
     python -m repro compare --trace oltp.csv --jobs 4 --cache-dir .repro-cache
@@ -59,16 +61,27 @@ from repro.traces.cello import CelloConfig, generate_cello
 from repro.traces.io import load_trace, save_trace
 from repro.traces.model import Trace
 from repro.traces.oltp import OltpConfig, generate_oltp
-from repro.traces.synthetic import SyntheticConfig, generate_synthetic
+from repro.traces.synthetic import (
+    FlashCrowdConfig,
+    MultiTenantConfig,
+    SyntheticConfig,
+    WriteBurstConfig,
+    generate_flash_crowd,
+    generate_multi_tenant,
+    generate_synthetic,
+    generate_write_burst,
+)
 from repro.traces.tracestats import compute_trace_stats, per_extent_rates
 
 POLICY_NAMES = ("base", "tpm", "drpm", "pdc", "maid", "hibernator", "oracle")
 CTL_COMMANDS = ("ping", "status", "set-goal", "inject-fault", "force-boost", "shutdown")
+TRACE_KINDS = ("oltp", "cello", "synthetic", "flashcrowd", "multitenant", "writeburst")
+INGEST_FORMAT_NAMES = ("msr", "blkparse", "csv")
 
 
 def _add_trace_source(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", help="trace file (from gen-trace); omit to generate inline")
-    parser.add_argument("--kind", choices=("oltp", "cello", "synthetic"), default="oltp",
+    parser.add_argument("--kind", choices=TRACE_KINDS, default="oltp",
                         help="inline generator kind (default: oltp)")
     parser.add_argument("--duration", type=float, default=900.0,
                         help="inline trace duration in seconds")
@@ -179,22 +192,51 @@ def _resolve_trace(args: argparse.Namespace) -> Trace:
     return _generate(args)
 
 
+def _inline_config(kind: str, duration: float, rate: float, extents: int, seed: int):
+    """Generator config for the shared inline-trace CLI knobs.
+
+    ``rate`` maps to each generator's primary rate knob (per-tenant
+    base rate for multitenant, background read rate for writeburst);
+    everything else keeps the generator's defaults.
+    """
+    if kind == "oltp":
+        return OltpConfig(duration=duration, rate=rate,
+                          num_extents=extents, seed=seed)
+    if kind == "cello":
+        return CelloConfig(days=max(duration / 86400.0, 1e-6),
+                           day_rate=rate, night_rate=rate / 20.0,
+                           num_extents=extents, seed=seed)
+    if kind == "flashcrowd":
+        return FlashCrowdConfig(duration=duration, base_rate=rate,
+                                spike_start=duration / 2.0,
+                                spike_duration=duration / 10.0,
+                                num_extents=extents, seed=seed)
+    if kind == "multitenant":
+        return MultiTenantConfig(duration=duration, base_rate=rate,
+                                 burst_period=max(duration / 6.0, 1e-6),
+                                 num_extents=extents, seed=seed)
+    if kind == "writeburst":
+        return WriteBurstConfig(duration=duration, read_rate=rate,
+                                checkpoint_period=max(duration / 6.0, 1e-6),
+                                num_extents=extents, seed=seed)
+    return SyntheticConfig(duration=duration, rate=rate,
+                           num_extents=extents, seed=seed)
+
+
+_GENERATORS = {
+    "oltp": generate_oltp,
+    "cello": generate_cello,
+    "synthetic": generate_synthetic,
+    "flashcrowd": generate_flash_crowd,
+    "multitenant": generate_multi_tenant,
+    "writeburst": generate_write_burst,
+}
+
+
 def _generate(args: argparse.Namespace) -> Trace:
-    if args.kind == "oltp":
-        return generate_oltp(OltpConfig(
-            duration=args.duration, rate=args.rate,
-            num_extents=args.extents, seed=args.seed,
-        ))
-    if args.kind == "cello":
-        return generate_cello(CelloConfig(
-            days=max(args.duration / 86400.0, 1e-6),
-            day_rate=args.rate, night_rate=args.rate / 20.0,
-            num_extents=args.extents, seed=args.seed,
-        ))
-    return generate_synthetic(SyntheticConfig(
-        duration=args.duration, rate=args.rate,
-        num_extents=args.extents, seed=args.seed,
-    ))
+    config = _inline_config(args.kind, args.duration, args.rate,
+                            args.extents, args.seed)
+    return _GENERATORS[args.kind](config)
 
 
 def _array_config(args: argparse.Namespace, num_extents: int):
@@ -279,6 +321,59 @@ def cmd_trace_stats(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace_file)
     stats = compute_trace_stats(trace)
     print(format_kv(f"== {trace.name} ==", stats.rows()))
+    return 0
+
+
+def _column_ref(text: str):
+    """CSV field-map column reference: an index if numeric, else a name."""
+    return int(text) if text.lstrip("-").isdigit() else text
+
+
+def cmd_trace_import(args: argparse.Namespace) -> int:
+    from repro.traces.ingest import FieldMap, IngestOptions, import_trace
+
+    field_map = None
+    if args.format == "csv":
+        field_map = FieldMap(
+            time=_column_ref(args.time_col),
+            kind=None if args.no_kind else _column_ref(args.kind_col),
+            offset=_column_ref(args.offset_col),
+            size=None if args.no_size else _column_ref(args.size_col),
+            time_unit=args.time_unit,
+            offset_unit=args.offset_unit,
+            read_values=tuple(v.strip() for v in args.read_values.split(",") if v.strip()),
+            delimiter=args.delimiter,
+            has_header=not args.no_header,
+            default_size_bytes=args.default_size,
+        )
+    try:
+        options = IngestOptions(
+            extent_bytes=args.extent_bytes,
+            num_extents=args.extents,
+            name=args.name,
+            field_map=field_map,
+            target_extents=args.target_extents,
+            target_duration_s=args.target_duration,
+            target_iops=args.target_iops,
+            intensity=args.intensity,
+            seed=args.ingest_seed,
+        )
+        result = import_trace(args.source, args.format, options)
+    except ValueError as exc:  # includes TraceFormatError with path:line
+        print(f"repro trace import: {exc}", file=sys.stderr)
+        return 2
+    save_trace(result.trace, args.output)
+    if args.json:
+        import json
+
+        doc = result.provenance.to_dict()
+        doc["output"] = args.output
+        print(json.dumps(doc, indent=2, sort_keys=True, allow_nan=False))
+    else:
+        print(format_kv(f"== imported {result.trace.name} ==",
+                        result.provenance.rows()))
+        print(f"wrote {len(result.trace)} requests "
+              f"({result.trace.duration:.1f} s) to {args.output}")
     return 0
 
 
@@ -403,16 +498,8 @@ def _fleet_trace_spec(args: argparse.Namespace):
         extents = args.extents
     else:
         extents = args.arrays * args.extents
-    if args.kind == "oltp":
-        config = OltpConfig(duration=args.duration, rate=args.rate,
-                            num_extents=extents, seed=args.seed)
-    elif args.kind == "cello":
-        config = CelloConfig(days=max(args.duration / 86400.0, 1e-6),
-                             day_rate=args.rate, night_rate=args.rate / 20.0,
-                             num_extents=extents, seed=args.seed)
-    else:
-        config = SyntheticConfig(duration=args.duration, rate=args.rate,
-                                 num_extents=extents, seed=args.seed)
+    config = _inline_config(args.kind, args.duration, args.rate,
+                            extents, args.seed)
     return TraceSpec.from_generator(args.kind, config)
 
 
@@ -987,11 +1074,97 @@ def build_parser() -> argparse.ArgumentParser:
                         "starts (default 5)")
     p.set_defaults(func=cmd_ctl)
 
-    p = sub.add_parser("trace", help="render a structured event trace (JSONL)")
-    p.add_argument("trace_file", help="JSONL file written via --trace-out")
-    p.add_argument("--width", type=int, default=64,
-                   help="timeline width in characters (default 64)")
-    p.set_defaults(func=cmd_trace)
+    p = sub.add_parser(
+        "trace",
+        help="work with traces: show events, import foreign formats, stats",
+        description="Trace tooling. 'show' renders a structured JSONL "
+                    "event trace, 'import' converts a public block-trace "
+                    "format (MSR-Cambridge CSV, blkparse output, generic "
+                    "columnar CSV) into the native format with optional "
+                    "modernization (see docs/traces.md), and 'stats' "
+                    "characterizes a native trace file. A bare "
+                    "'repro trace FILE' is shorthand for 'show'.",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = trace_sub.add_parser("show", help="render a structured event trace (JSONL)")
+    tp.add_argument("trace_file", help="JSONL file written via --trace-out")
+    tp.add_argument("--width", type=int, default=64,
+                    help="timeline width in characters (default 64)")
+    tp.set_defaults(func=cmd_trace)
+
+    tp = trace_sub.add_parser(
+        "import",
+        help="convert a public block-trace format to the native format",
+        description="Parse a foreign trace file, optionally modernize it "
+                    "(address-space/time/intensity rescaling), and write a "
+                    "native trace plus a provenance report. Exit codes: "
+                    "0 ok, 2 malformed input (the error names file and "
+                    "line).",
+    )
+    tp.add_argument("source", help="trace file to import (.gz transparently)")
+    tp.add_argument("--format", required=True, choices=INGEST_FORMAT_NAMES,
+                    help="source format")
+    tp.add_argument("-o", "--output", required=True,
+                    help="native trace output path (.csv or .csv.gz)")
+    tp.add_argument("--name", help="trace name (default: source file stem)")
+    tp.add_argument("--extent-bytes", type=int, default=1 << 20,
+                    help="bytes per logical extent when folding byte "
+                         "offsets (default 1 MiB)")
+    tp.add_argument("--extents", type=int, default=None,
+                    help="volume size in extents (default: smallest that "
+                         "fits the highest offset)")
+    tp.add_argument("--target-extents", type=int, default=None,
+                    help="modernize: re-map the address space onto this "
+                         "many extents, preserving hot/cold skew")
+    tp.add_argument("--target-duration", type=float, default=None,
+                    help="modernize: rescale the time axis to this many "
+                         "seconds (mutually exclusive with --target-iops)")
+    tp.add_argument("--target-iops", type=float, default=None,
+                    help="modernize: rescale the time axis to this mean "
+                         "request rate")
+    tp.add_argument("--intensity", type=float, default=1.0,
+                    help="modernize: arrival-rate factor at a fixed time "
+                         "axis; <1 thins, >1 superposes jittered replicas "
+                         "(default 1)")
+    tp.add_argument("--ingest-seed", type=int, default=0,
+                    help="seed for the seeded modernization transforms "
+                         "(default 0)")
+    tp.add_argument("--time-col", default="time",
+                    help="csv: time column name or 0-based index")
+    tp.add_argument("--kind-col", default="kind",
+                    help="csv: read/write column name or index")
+    tp.add_argument("--no-kind", action="store_true",
+                    help="csv: no read/write column; every request is a read")
+    tp.add_argument("--offset-col", default="offset",
+                    help="csv: address column name or index")
+    tp.add_argument("--size-col", default="size",
+                    help="csv: request-size column name or index")
+    tp.add_argument("--no-size", action="store_true",
+                    help="csv: no size column; use --default-size")
+    tp.add_argument("--time-unit", choices=("s", "ms", "us", "ns"), default="s",
+                    help="csv: unit of the time column (default s)")
+    tp.add_argument("--offset-unit", choices=("bytes", "sectors", "extents"),
+                    default="bytes",
+                    help="csv: unit of the address column (default bytes)")
+    tp.add_argument("--delimiter", default=",",
+                    help="csv: field separator (default ',')")
+    tp.add_argument("--no-header", action="store_true",
+                    help="csv: first row is data, not a header (column "
+                         "references must be indices)")
+    tp.add_argument("--read-values", default="r,read,0,true",
+                    help="csv: comma-separated tokens marking a read "
+                         "(default 'r,read,0,true')")
+    tp.add_argument("--default-size", type=int, default=4096,
+                    help="csv: request size in bytes when there is no size "
+                         "column (default 4096)")
+    tp.add_argument("--json", action="store_true",
+                    help="emit the provenance record as JSON")
+    tp.set_defaults(func=cmd_trace_import)
+
+    tp = trace_sub.add_parser("stats", help="characterize a native trace file")
+    tp.add_argument("trace_file")
+    tp.set_defaults(func=cmd_trace_stats)
 
     p = sub.add_parser(
         "lint",
@@ -1068,10 +1241,23 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_TRACE_SUBCOMMANDS = ("show", "import", "stats")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    arglist = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: "repro trace FILE" predates the show/import/stats
+    # subcommands and still renders the JSONL event trace.
+    if (
+        len(arglist) >= 2
+        and arglist[0] == "trace"
+        and arglist[1] not in _TRACE_SUBCOMMANDS
+        and arglist[1] not in ("-h", "--help")
+    ):
+        arglist.insert(1, "show")
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arglist)
     return args.func(args)
 
 

@@ -1,11 +1,15 @@
 """The canonical benchmark scenario matrix.
 
-Nine scenarios cover the hot paths the simulator actually exercises:
+Twelve scenarios cover the hot paths the simulator actually exercises:
 {synthetic Poisson, cello-style diurnal} traces x {always-on,
-Hibernator} policies x {fault-free, faulty}, plus ``fleet-small``, a
+Hibernator} policies x {fault-free, faulty}; ``fleet-small``, a
 four-array fleet with a correlated batch failure that benchmarks the
-:mod:`repro.fleet` expansion/partition/merge stack. Each scenario is
-expressed as a :class:`~repro.analysis.parallel.RunSpec` (or
+:mod:`repro.fleet` expansion/partition/merge stack; ``imported-msr``,
+which replays the packaged MSR-Cambridge-style fixture through the
+whole :mod:`repro.traces.ingest` pipeline (parse, modernize, simulate);
+and ``flashcrowd-hibernator`` / ``writeburst-base``, which exercise the
+bursty scenario generators. Each scenario is expressed as a
+:class:`~repro.analysis.parallel.RunSpec` (or
 :class:`~repro.fleet.spec.FleetSpec`) recipe, so it runs through the
 exact same stack as a real experiment (trace generated in place, policy
 built fresh per run — policies are stateful).
@@ -22,6 +26,7 @@ and must survive any performance work unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.analysis.experiments import default_array_config
 from repro.analysis.parallel import PolicySpec, RunSpec, TraceSpec
@@ -30,7 +35,8 @@ from repro.faults.plan import FaultPlan, SlowDiskFault, TransientFault
 from repro.fleet.faults import CorrelatedFailure, FleetFaultPlan
 from repro.fleet.spec import FleetSpec
 from repro.traces.cello import CelloConfig
-from repro.traces.synthetic import SyntheticConfig
+from repro.traces.ingest import IngestOptions
+from repro.traces.synthetic import FlashCrowdConfig, SyntheticConfig, WriteBurstConfig
 
 #: Array shape shared by every scenario: small enough to generate
 #: quickly, wide enough that placement/queueing behave like the paper's.
@@ -96,7 +102,68 @@ def _cello_faults() -> FaultPlan:
     )
 
 
-_TRACES = {"synthetic": _synthetic, "cello": _cello}
+#: Packaged MSR-Cambridge-style sample replayed by ``imported-msr``.
+#: ~5900 requests over 120 s on a 2000-extent volume, deterministic by
+#: construction (see docs/traces.md).
+MSR_FIXTURE = Path(__file__).parent / "data" / "msr-sample.csv.gz"
+
+
+def _imported() -> TraceSpec:
+    # Modernize the fixture onto the benchmark array: fold 2000 source
+    # extents onto NUM_EXTENTS, stretch to 240 s, and superpose to ~6x
+    # the request count — the full ingest pipeline, every call.
+    return TraceSpec.from_import(
+        str(MSR_FIXTURE),
+        "msr",
+        IngestOptions(
+            name="perf-imported",
+            target_extents=NUM_EXTENTS,
+            target_duration_s=240.0,
+            intensity=6.0,
+            seed=17,
+        ),
+    )
+
+
+def _flashcrowd() -> TraceSpec:
+    return TraceSpec.from_generator(
+        "flashcrowd",
+        FlashCrowdConfig(
+            name="perf-flashcrowd",
+            duration=240.0,
+            base_rate=80.0,
+            spike_factor=6.0,
+            spike_start=120.0,
+            spike_duration=60.0,
+            num_extents=NUM_EXTENTS,
+            seed=13,
+        ),
+    )
+
+
+def _writeburst() -> TraceSpec:
+    return TraceSpec.from_generator(
+        "writeburst",
+        WriteBurstConfig(
+            name="perf-writeburst",
+            duration=240.0,
+            read_rate=120.0,
+            checkpoint_period=60.0,
+            sweep_rate=300.0,
+            sweep_fraction=0.15,
+            num_extents=NUM_EXTENTS,
+            seed=19,
+        ),
+    )
+
+
+_TRACES = {
+    "synthetic": _synthetic,
+    "cello": _cello,
+    "imported": _imported,
+    "flashcrowd": _flashcrowd,
+    "writeburst": _writeburst,
+}
 _FAULTS = {"synthetic": _synthetic_faults, "cello": _cello_faults}
 
 #: Fleet width of the ``fleet-small`` scenario.
@@ -203,6 +270,10 @@ PERF_SCENARIOS: tuple[PerfScenario, ...] = (
     PerfScenario("cello-hibernator-faults", "cello", "hibernator", faults=True),
     PerfScenario("fleet-small", "synthetic", "hibernator", faults=True,
                  quick=True, fleet=True),
+    PerfScenario("imported-msr", "imported", "hibernator", faults=False, quick=True),
+    PerfScenario("flashcrowd-hibernator", "flashcrowd", "hibernator", faults=False,
+                 quick=True),
+    PerfScenario("writeburst-base", "writeburst", "base", faults=False, quick=True),
 )
 
 
@@ -247,8 +318,10 @@ def golden_specs() -> dict[str, RunSpec | FleetSpec]:
     to cover every accounting surface performance work touches: plain
     replay, Hibernator control flow, fault injection with retries, the
     time-series sampler (``window_s``), the no-retained-samples
-    percentile path, and (``golden-fleet``) the fleet
-    expansion/partition/merge stack including correlated failures.
+    percentile path, (``golden-fleet``) the fleet
+    expansion/partition/merge stack including correlated failures, and
+    (``golden-imported`` / ``golden-flashcrowd`` / ``golden-writeburst``)
+    the ingest pipeline and the bursty scenario generators.
     """
     return {
         "golden-base": RunSpec(
@@ -296,5 +369,54 @@ def golden_specs() -> dict[str, RunSpec | FleetSpec]:
                 ),
             ),
             observe=True,
+        ),
+        "golden-imported": RunSpec(
+            trace=TraceSpec.from_import(
+                str(MSR_FIXTURE),
+                "msr",
+                IngestOptions(
+                    name="golden-imported",
+                    target_extents=NUM_EXTENTS,
+                    target_duration_s=60.0,
+                    seed=17,
+                ),
+            ),
+            array=_array(),
+            policy=PolicySpec.named("base"),
+        ),
+        "golden-flashcrowd": RunSpec(
+            trace=TraceSpec.from_generator(
+                "flashcrowd",
+                FlashCrowdConfig(
+                    name="golden-flashcrowd",
+                    duration=60.0,
+                    base_rate=40.0,
+                    spike_factor=6.0,
+                    spike_start=30.0,
+                    spike_duration=15.0,
+                    num_extents=NUM_EXTENTS,
+                    seed=29,
+                ),
+            ),
+            array=_array(),
+            policy=PolicySpec.named("hibernator", epoch_seconds=20.0),
+            goal_s=GOAL_S,
+        ),
+        "golden-writeburst": RunSpec(
+            trace=TraceSpec.from_generator(
+                "writeburst",
+                WriteBurstConfig(
+                    name="golden-writeburst",
+                    duration=60.0,
+                    read_rate=50.0,
+                    checkpoint_period=20.0,
+                    sweep_rate=200.0,
+                    sweep_fraction=0.1,
+                    num_extents=NUM_EXTENTS,
+                    seed=37,
+                ),
+            ),
+            array=_array(),
+            policy=PolicySpec.named("base"),
         ),
     }

@@ -1,4 +1,4 @@
-"""Workload substrate: trace containers, file I/O and generators.
+"""Workload substrate: trace containers, file I/O, generators, ingest.
 
 The paper drove its simulator with two data-center traces — an OLTP
 trace (TPC-C against a commercial DBMS) and the HP Labs Cello99 file
@@ -11,16 +11,38 @@ generators calibrated to their published first-order characteristics
 * :mod:`repro.traces.cello` -- diurnal file-server load with deep
   night-time valleys, bursts and a drifting working set.
 * :mod:`repro.traces.synthetic` -- the parameterized toolkit both are
-  built from (arrival processes, popularity models, size mixes).
+  built from (arrival processes, popularity models, size mixes), plus
+  scenario generators (flash-crowd spike, multi-tenant interference,
+  checkpoint write bursts).
+* :mod:`repro.traces.ingest` -- loaders for public block-trace formats
+  (MSR-Cambridge CSV, blkparse, generic columnar CSV) with provenance
+  records and TraceTracker-style modernization transforms, for driving
+  the simulator with *real* traces (see docs/traces.md).
 """
 
 from repro.traces.cello import CelloConfig, generate_cello
+from repro.traces.ingest import (
+    FieldMap,
+    IngestOptions,
+    IngestResult,
+    TraceProvenance,
+    import_trace,
+    rescale_extents,
+    rescale_time,
+    scale_intensity,
+)
 from repro.traces.model import Trace, TraceBuilder, TraceRequest
 from repro.traces.oltp import OltpConfig, generate_oltp
 from repro.traces.synthetic import (
+    FlashCrowdConfig,
+    MultiTenantConfig,
     SyntheticConfig,
+    WriteBurstConfig,
     ZipfPopularity,
+    generate_flash_crowd,
+    generate_multi_tenant,
     generate_synthetic,
+    generate_write_burst,
     modulated_poisson_arrivals,
     poisson_arrivals,
 )
@@ -37,8 +59,22 @@ __all__ = [
     "SyntheticConfig",
     "ZipfPopularity",
     "generate_synthetic",
+    "FlashCrowdConfig",
+    "generate_flash_crowd",
+    "MultiTenantConfig",
+    "generate_multi_tenant",
+    "WriteBurstConfig",
+    "generate_write_burst",
     "poisson_arrivals",
     "modulated_poisson_arrivals",
     "TraceStats",
     "compute_trace_stats",
+    "FieldMap",
+    "IngestOptions",
+    "IngestResult",
+    "TraceProvenance",
+    "import_trace",
+    "rescale_extents",
+    "rescale_time",
+    "scale_intensity",
 ]

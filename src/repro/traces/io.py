@@ -6,6 +6,14 @@ ends in ``.gz``) with a one-line header::
     # repro-trace v1 name=<name> num_extents=<n>
     time,kind,extent,offset,size
 
+Header values are percent-encoded (RFC 3986 style, no safe characters)
+on write and decoded on read, because header tokens are split on
+whitespace and ``=``: transform-produced names like ``"a b"`` (from
+``concat(name="a b")``) or ``"oltp+5s"`` would otherwise be truncated
+or corrupted on the way back in. Plain names (letters, digits, ``-``,
+``_``, ``.``) are written verbatim, so files produced by older writers
+load unchanged.
+
 This keeps traces inspectable with standard tools while staying fast
 enough for the trace sizes the experiments use.
 """
@@ -17,6 +25,7 @@ import gzip
 import io
 from pathlib import Path
 from typing import IO
+from urllib.parse import quote, unquote
 
 import numpy as np
 
@@ -35,11 +44,18 @@ def _open_text(path: Path, mode: str) -> IO[str]:
     return open(path, mode, encoding="utf-8", newline="")
 
 
+def _encode_header_value(value: str) -> str:
+    """Percent-encode a header value so it survives whitespace/``=``
+    token splitting (``safe=""`` also encodes ``/`` and ``%``)."""
+    return quote(value, safe="")
+
+
 def save_trace(trace: Trace, path: str | Path) -> None:
     """Write ``trace`` to ``path`` (gzip when the name ends in .gz)."""
     path = Path(path)
+    name = _encode_header_value(trace.name)
     with _open_text(path, "w") as fh:
-        fh.write(f"{_MAGIC} name={trace.name} num_extents={trace.num_extents}\n")
+        fh.write(f"{_MAGIC} name={name} num_extents={trace.num_extents}\n")
         writer = csv.writer(fh)
         writer.writerow(["time", "kind", "extent", "offset", "size"])
         for times, kinds, extents, offsets, sizes in zip(
@@ -68,9 +84,15 @@ def load_trace(path: str | Path) -> Trace:
             if "=" not in token:
                 raise TraceFormatError(f"{path}: bad header token {token!r}")
             key, value = token.split("=", 1)
-            meta[key] = value
+            meta[key] = unquote(value)
         if "num_extents" not in meta:
             raise TraceFormatError(f"{path}: header lacks num_extents")
+        try:
+            num_extents = int(meta["num_extents"])
+        except ValueError:
+            raise TraceFormatError(
+                f"{path}:1: num_extents is not an integer: {meta['num_extents']!r}"
+            ) from None
         reader = csv.reader(fh)
         columns = next(reader, None)
         if columns != ["time", "kind", "extent", "offset", "size"]:
@@ -88,14 +110,27 @@ def load_trace(path: str | Path) -> Trace:
             time_s, kind, extent, offset, size = row
             if kind not in ("R", "W"):
                 raise TraceFormatError(f"{path}:{lineno}: kind must be R or W, got {kind!r}")
-            times.append(float(time_s))
+            try:
+                times.append(float(time_s))
+            except ValueError:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: time is not a number: {time_s!r}"
+                ) from None
             kinds.append(0 if kind == "R" else 1)
-            extents.append(int(extent))
-            offsets.append(int(offset))
-            sizes.append(int(size))
+            for label, value, column in (
+                ("extent", extent, extents),
+                ("offset", offset, offsets),
+                ("size", size, sizes),
+            ):
+                try:
+                    column.append(int(value))
+                except ValueError:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: {label} is not an integer: {value!r}"
+                    ) from None
     return Trace(
         name=meta.get("name", path.stem),
-        num_extents=int(meta["num_extents"]),
+        num_extents=num_extents,
         times=np.asarray(times, dtype=np.float64),
         kinds=np.asarray(kinds, dtype=np.int8),
         extents=np.asarray(extents, dtype=np.int64),

@@ -213,6 +213,244 @@ def generate_synthetic(config: SyntheticConfig) -> Trace:
     )
 
 
+# ---------------------------------------------------------------------------
+# Scenario generators
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FlashCrowdConfig:
+    """Flash-crowd spike: steady background, then a short burst that
+    multiplies the arrival rate and concentrates it on a small hot set.
+
+    Models the adversarial case for a power policy: the array has spun
+    down around a quiet baseline when a crowd arrives, so the policy
+    must re-provision quickly without burning the energy budget. The
+    spike's requests hit ``hot_fraction`` of the extents with
+    probability ``hot_bias`` (scattered placement, as usual).
+    """
+
+    name: str = "flashcrowd"
+    # repro: lint-ok[UNIT002] established trace-config field, documented as seconds
+    duration: float = 3600.0
+    base_rate: float = 40.0
+    spike_factor: float = 8.0
+    # repro: lint-ok[UNIT002] established trace-config field, documented as seconds
+    spike_start: float = 1800.0
+    # repro: lint-ok[UNIT002] established trace-config field, documented as seconds
+    spike_duration: float = 300.0
+    num_extents: int = 2400
+    zipf_theta: float = 0.9
+    hot_fraction: float = 0.02
+    hot_bias: float = 0.9
+    read_fraction: float = 0.85
+    size_mix: SizeMix = field(default_factory=lambda: SizeMix(sizes=(4096, 65536), weights=(0.7, 0.3)))
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.spike_factor < 1.0:
+            raise ValueError(f"spike_factor must be >= 1, got {self.spike_factor!r}")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in (0, 1], got {self.hot_fraction!r}")
+        if not 0.0 <= self.hot_bias <= 1.0:
+            raise ValueError(f"hot_bias must be in [0, 1], got {self.hot_bias!r}")
+
+
+def generate_flash_crowd(config: FlashCrowdConfig) -> Trace:
+    """Generate a trace from a :class:`FlashCrowdConfig`."""
+    rng = np.random.default_rng(config.seed)
+    spike_end = config.spike_start + config.spike_duration
+    base, peak = config.base_rate, config.base_rate * config.spike_factor
+
+    def rate_fn(t: np.ndarray) -> np.ndarray:
+        in_spike = (t >= config.spike_start) & (t < spike_end)
+        return np.where(in_spike, peak, base)
+
+    times = modulated_poisson_arrivals(rate_fn, peak, config.duration, rng)
+    n = len(times)
+    popularity = ZipfPopularity(config.num_extents, config.zipf_theta, rng)
+    extents = popularity.sample(n, rng)
+    # During the spike, redirect hot_bias of the requests onto a small
+    # uniform hot set — the crowd hammers a handful of objects, not the
+    # whole Zipf tail.
+    hot_size = max(1, int(round(config.hot_fraction * config.num_extents)))
+    hot_set = rng.choice(config.num_extents, size=hot_size, replace=False)
+    in_spike = (times >= config.spike_start) & (times < spike_end)
+    redirect = in_spike & (rng.random(n) < config.hot_bias)
+    extents[redirect] = hot_set[rng.integers(0, hot_size, size=int(redirect.sum()))]
+    read_mask = rng.random(n) < config.read_fraction
+    sizes = config.size_mix.sample(n, rng)
+    return trace_from_columns(
+        name=config.name,
+        num_extents=config.num_extents,
+        times=times,
+        read_mask=read_mask,
+        extents=extents,
+        sizes=sizes,
+    )
+
+
+@dataclass
+class MultiTenantConfig:
+    """Multi-tenant interference: tenants own disjoint extent partitions
+    and take turns bursting.
+
+    Each tenant runs its own Zipf-skewed stream over its slice of the
+    address space at ``base_rate``; the burst window rotates round-robin
+    across tenants, multiplying the active tenant's rate by
+    ``burst_factor``. The aggregate never goes fully idle — the hard
+    case for coarse-grained spin-down, straight out of the DBMS-style
+    workloads in the energy-aware storage literature.
+    """
+
+    name: str = "multitenant"
+    # repro: lint-ok[UNIT002] established trace-config field, documented as seconds
+    duration: float = 3600.0
+    num_tenants: int = 4
+    base_rate: float = 15.0
+    burst_factor: float = 6.0
+    # repro: lint-ok[UNIT002] established trace-config field, documented as seconds
+    burst_period: float = 600.0
+    num_extents: int = 2400
+    zipf_theta: float = 1.1
+    read_fraction: float = 0.6
+    size_mix: SizeMix = field(default_factory=lambda: SizeMix(sizes=(4096, 16384), weights=(0.8, 0.2)))
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_tenants < 1:
+            raise ValueError(f"num_tenants must be >= 1, got {self.num_tenants!r}")
+        if self.num_extents < self.num_tenants:
+            raise ValueError(
+                f"num_extents ({self.num_extents}) must cover "
+                f"num_tenants ({self.num_tenants}) partitions"
+            )
+        if self.burst_factor < 1.0:
+            raise ValueError(f"burst_factor must be >= 1, got {self.burst_factor!r}")
+        if self.burst_period <= 0:
+            raise ValueError(f"burst_period must be positive, got {self.burst_period!r}")
+
+
+def generate_multi_tenant(config: MultiTenantConfig) -> Trace:
+    """Generate a trace from a :class:`MultiTenantConfig`."""
+    rng = np.random.default_rng(config.seed)
+    peak = config.base_rate * config.burst_factor
+    bounds = np.linspace(0, config.num_extents, config.num_tenants + 1).astype(np.int64)
+    streams: list[Trace] = []
+    for tenant in range(config.num_tenants):
+        # Independent deterministic stream per tenant, all derived from
+        # the one config seed.
+        tenant_rng = np.random.default_rng(int(rng.integers(0, 2**31 - 1)))
+        lo, hi = int(bounds[tenant]), int(bounds[tenant + 1])
+
+        def rate_fn(t: np.ndarray, tenant: int = tenant) -> np.ndarray:
+            # Round-robin burst: window k belongs to tenant k mod N.
+            active = (t // config.burst_period).astype(np.int64) % config.num_tenants
+            return np.where(active == tenant, peak, config.base_rate)
+
+        times = modulated_poisson_arrivals(rate_fn, peak, config.duration, tenant_rng)
+        n = len(times)
+        popularity = ZipfPopularity(hi - lo, config.zipf_theta, tenant_rng)
+        extents = popularity.sample(n, tenant_rng) + lo
+        read_mask = tenant_rng.random(n) < config.read_fraction
+        sizes = config.size_mix.sample(n, tenant_rng)
+        streams.append(
+            trace_from_columns(
+                name=f"{config.name}.t{tenant}",
+                num_extents=config.num_extents,
+                times=times,
+                read_mask=read_mask,
+                extents=extents,
+                sizes=sizes,
+            )
+        )
+    return interleave_traces(config.name, streams)
+
+
+@dataclass
+class WriteBurstConfig:
+    """Checkpoint-style write bursts over a read-mostly background.
+
+    A Zipf-skewed read stream runs continuously; every
+    ``checkpoint_period`` a sequential write sweep walks
+    ``sweep_fraction`` of the address space at ``sweep_rate`` — the
+    dirty-page flush of a database checkpoint. Sweeps write large
+    blocks sequentially from a rotating start extent, so consecutive
+    checkpoints touch different cold regions.
+    """
+
+    name: str = "writeburst"
+    # repro: lint-ok[UNIT002] established trace-config field, documented as seconds
+    duration: float = 3600.0
+    read_rate: float = 60.0
+    # repro: lint-ok[UNIT002] established trace-config field, documented as seconds
+    checkpoint_period: float = 600.0
+    sweep_rate: float = 400.0
+    sweep_fraction: float = 0.1
+    num_extents: int = 2400
+    zipf_theta: float = 0.9
+    write_size: int = 262144
+    size_mix: SizeMix = field(default_factory=lambda: SizeMix(sizes=(4096, 8192), weights=(0.75, 0.25)))
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_period <= 0:
+            raise ValueError(
+                f"checkpoint_period must be positive, got {self.checkpoint_period!r}"
+            )
+        if not 0.0 < self.sweep_fraction <= 1.0:
+            raise ValueError(
+                f"sweep_fraction must be in (0, 1], got {self.sweep_fraction!r}"
+            )
+        if self.sweep_rate <= 0:
+            raise ValueError(f"sweep_rate must be positive, got {self.sweep_rate!r}")
+        if self.write_size <= 0:
+            raise ValueError(f"write_size must be positive, got {self.write_size!r}")
+
+
+def generate_write_burst(config: WriteBurstConfig) -> Trace:
+    """Generate a trace from a :class:`WriteBurstConfig`."""
+    rng = np.random.default_rng(config.seed)
+    # Background reads.
+    read_times = poisson_arrivals(config.read_rate, config.duration, rng)
+    popularity = ZipfPopularity(config.num_extents, config.zipf_theta, rng)
+    read_extents = popularity.sample(len(read_times), rng)
+    read_sizes = config.size_mix.sample(len(read_times), rng)
+    background = trace_from_columns(
+        name=f"{config.name}.reads",
+        num_extents=config.num_extents,
+        times=read_times,
+        read_mask=np.ones(len(read_times), dtype=bool),
+        extents=read_extents,
+        sizes=read_sizes,
+    )
+    # Checkpoint sweeps: sequential writes at a fixed rate, rotating
+    # start so consecutive checkpoints hit different regions.
+    sweep_len = max(1, int(round(config.sweep_fraction * config.num_extents)))
+    sweeps: list[Trace] = []
+    checkpoint = 0
+    start_time = config.checkpoint_period
+    while start_time < config.duration:
+        offsets = np.arange(sweep_len, dtype=np.float64) / config.sweep_rate
+        times = start_time + offsets
+        times = times[times < config.duration]
+        n = len(times)
+        start_extent = (checkpoint * sweep_len) % config.num_extents
+        extents = (start_extent + np.arange(n, dtype=np.int64)) % config.num_extents
+        sweeps.append(
+            trace_from_columns(
+                name=f"{config.name}.ckpt{checkpoint}",
+                num_extents=config.num_extents,
+                times=times,
+                read_mask=np.zeros(n, dtype=bool),
+                extents=extents,
+                sizes=np.full(n, config.write_size, dtype=np.int64),
+            )
+        )
+        checkpoint += 1
+        start_time += config.checkpoint_period
+    return interleave_traces(config.name, [background, *sweeps])
+
+
 def interleave_traces(name: str, traces: Sequence[Trace]) -> Trace:
     """Merge several traces over the same address space by time."""
     if not traces:

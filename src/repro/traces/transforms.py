@@ -31,8 +31,20 @@ def shift_time(trace: Trace, offset: float, name: str | None = None) -> Trace:
 def concat(traces: list[Trace], gap_s: float = 0.0, name: str = "concat") -> Trace:
     """Play traces back to back (each shifted after the previous one).
 
+    Cursor semantics (span-based advance): each non-empty component
+    occupies the span ``[cursor, cursor + t.duration]`` on the combined
+    timeline, where ``t.duration`` is the component's last request time
+    measured from *its own* t=0 origin — a component with leading idle
+    keeps that idle inside its span, so the silence before its first
+    request is ``gap_s`` plus the component's own lead-in. The cursor
+    then advances past the span plus ``gap_s``. Empty components
+    contribute no requests, no span, and no gap — concatenating with an
+    empty trace is an identity on the timeline.
+
     Args:
-        gap_s: idle time inserted between consecutive traces.
+        gap_s: idle time inserted after each non-empty component's span
+            (may be negative to overlap phases, as long as the combined
+            times stay non-decreasing).
     """
     if not traces:
         raise ValueError("need at least one trace")
@@ -40,12 +52,24 @@ def concat(traces: list[Trace], gap_s: float = 0.0, name: str = "concat") -> Tra
     columns = {"times": [], "kinds": [], "extents": [], "offsets": [], "sizes": []}
     cursor = 0.0
     for t in traces:
+        if len(t) == 0:
+            continue
         columns["times"].append(t.times + cursor)
         columns["kinds"].append(t.kinds)
         columns["extents"].append(t.extents)
         columns["offsets"].append(t.offsets)
         columns["sizes"].append(t.sizes)
         cursor += t.duration + gap_s
+    if not columns["times"]:
+        return Trace(
+            name=name,
+            num_extents=num_extents,
+            times=np.empty(0, dtype=np.float64),
+            kinds=np.empty(0, dtype=np.int8),
+            extents=np.empty(0, dtype=np.int64),
+            offsets=np.empty(0, dtype=np.int64),
+            sizes=np.empty(0, dtype=np.int64),
+        )
     return Trace(
         name=name,
         num_extents=num_extents,

@@ -266,3 +266,111 @@ def test_ctl_unreachable_daemon(tmp_path, capsys):
     assert "cannot reach" in capsys.readouterr().err
     assert main(["ctl", "set-goal", "--control", missing]) == 2
     assert main(["ctl", "inject-fault", "--control", missing]) == 2
+
+
+# -- trace subcommands (show / import / stats) --------------------------------
+
+
+MSR_ROWS = (
+    "128166372003061629,host,0,Read,0,4096,100\n"
+    "128166372008061629,host,0,Write,1048576,8192,100\n"
+    "128166372013061629,host,0,Read,7340032,4096,100\n"
+)
+
+
+def test_trace_import_msr(tmp_path, capsys):
+    source = tmp_path / "msr.csv"
+    source.write_text(MSR_ROWS)
+    out = tmp_path / "imported.csv"
+    code = main(["trace", "import", str(source), "--format", "msr",
+                 "-o", str(out), "--name", "web0"])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "imported web0" in printed
+    assert "wrote 3 requests" in printed
+    trace = load_trace(out)
+    assert trace.name == "web0"
+    assert len(trace) == 3
+    assert trace.num_extents == 8  # extent 7 + 1 at default 1 MiB extents
+
+
+def test_trace_import_with_modernization_and_json(tmp_path, capsys):
+    source = tmp_path / "msr.csv"
+    source.write_text(MSR_ROWS)
+    out = tmp_path / "imported.csv"
+    code = main(["trace", "import", str(source), "--format", "msr",
+                 "-o", str(out), "--target-extents", "4",
+                 "--target-duration", "10", "--intensity", "2", "--json"])
+    assert code == 0
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["format"] == "msr"
+    assert doc["transforms"] == ["extents->4", "duration->10s", "intensity x2"]
+    assert doc["output"] == str(out)
+    assert load_trace(out).num_extents == 4
+
+
+def test_trace_import_generic_csv_flags(tmp_path, capsys):
+    source = tmp_path / "g.csv"
+    source.write_text("ts;op;lba;len\n0;R;0;8\n250;W;2048;16\n")
+    out = tmp_path / "imported.csv"
+    code = main(["trace", "import", str(source), "--format", "csv",
+                 "-o", str(out), "--time-col", "ts", "--kind-col", "op",
+                 "--offset-col", "lba", "--size-col", "len",
+                 "--time-unit", "ms", "--offset-unit", "sectors",
+                 "--delimiter", ";"])
+    assert code == 0
+    trace = load_trace(out)
+    assert list(trace.times) == [0.0, 0.25]
+    assert list(trace.kinds) == [0, 1]
+    assert list(trace.sizes) == [4096, 8192]
+
+
+def test_trace_import_bad_input_reports_line(tmp_path, capsys):
+    source = tmp_path / "bad.csv"
+    source.write_text("notaticks,host,0,Read,0,4096,100\n")
+    code = main(["trace", "import", str(source), "--format", "msr",
+                 "-o", str(tmp_path / "out.csv")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "repro trace import:" in err
+    assert "bad.csv:1" in err
+    assert not (tmp_path / "out.csv").exists()
+
+
+def test_trace_stats_subcommand(tmp_path, capsys):
+    path = gen(tmp_path)
+    capsys.readouterr()
+    assert main(["trace", "stats", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "mean rate" in out
+
+
+def test_trace_show_backcompat(tmp_path, capsys):
+    """The pre-subcommand spelling `repro trace EVENTS.jsonl` still
+    renders an event log, and `trace show` is its explicit alias."""
+    path = gen(tmp_path)
+    events = tmp_path / "events.jsonl"
+    capsys.readouterr()
+    assert main(["run", "--trace", str(path), "--policy", "hibernator",
+                 "--disks", "4", "--epoch", "30",
+                 "--trace-out", str(events)]) == 0
+    capsys.readouterr()
+    assert main(["trace", str(events)]) == 0
+    legacy = capsys.readouterr().out
+    assert "epoch decisions" in legacy
+    assert main(["trace", "show", str(events)]) == 0
+    assert capsys.readouterr().out == legacy
+
+
+def test_gen_trace_new_kinds(tmp_path, capsys):
+    for kind in ("flashcrowd", "multitenant", "writeburst"):
+        path = tmp_path / f"{kind}.csv"
+        code = main(["gen-trace", "--kind", kind, "--duration", "120",
+                     "--rate", "30", "--extents", "64", "--seed", "2",
+                     "-o", str(path)])
+        assert code == 0, kind
+        trace = load_trace(path)
+        assert len(trace) > 0
+        assert trace.num_extents == 64

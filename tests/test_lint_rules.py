@@ -187,3 +187,20 @@ class TestProtocolVersionGuard:
         findings = check_protocol_version_bump(repo, "HEAD")
         assert [f.rule_id for f in findings] == ["PROTO003"]
         assert "could not run" in findings[0].message
+
+
+def test_det_and_unit_rules_cover_traces_ingest():
+    """The ingest loaders are result code: determinism and unit rules
+    must treat ``repro.traces.ingest`` as in scope."""
+    import ast
+    from pathlib import Path
+
+    from repro.lint.context import FileContext
+    from repro.lint.registry import all_rules
+
+    path = Path("src/repro/traces/ingest.py")
+    ctx = FileContext(path, path.read_text(), ast.parse(path.read_text()))
+    assert ctx.module == "repro.traces.ingest"
+    rules = all_rules()
+    for rule_id in ("DET001", "DET002", "DET003", "UNIT001", "UNIT002"):
+        assert rules[rule_id].applies_to(ctx), f"{rule_id} skips ingest"

@@ -50,9 +50,15 @@ class TestScenarios:
 
     def test_golden_specs_have_stable_names(self):
         assert sorted(golden_specs()) == [
-            "golden-base", "golden-faults", "golden-fleet", "golden-hibernator",
-            "golden-nosamples",
+            "golden-base", "golden-faults", "golden-flashcrowd", "golden-fleet",
+            "golden-hibernator", "golden-imported", "golden-nosamples",
+            "golden-writeburst",
         ]
+
+    def test_matrix_covers_ingest_and_new_generators(self):
+        names = {s.name for s in PERF_SCENARIOS}
+        assert len(PERF_SCENARIOS) >= 12
+        assert {"imported-msr", "flashcrowd-hibernator", "writeburst-base"} <= names
 
 
 class TestDigest:

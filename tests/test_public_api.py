@@ -19,7 +19,7 @@ MODULES = [
     "repro.disks.rebuild",
     "repro.traces", "repro.traces.model", "repro.traces.io",
     "repro.traces.synthetic", "repro.traces.oltp", "repro.traces.cello",
-    "repro.traces.tracestats", "repro.traces.transforms",
+    "repro.traces.tracestats", "repro.traces.transforms", "repro.traces.ingest",
     "repro.policies", "repro.policies.base", "repro.policies.always_on",
     "repro.policies.tpm", "repro.policies.drpm", "repro.policies.pdc",
     "repro.policies.maid", "repro.policies.oracle",

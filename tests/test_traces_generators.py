@@ -121,3 +121,151 @@ def test_diurnal_envelope_bounds():
     assert values.min() == pytest.approx(10.0, rel=0.01)
     peak_t = t[np.argmax(values)]
     assert peak_t / 3600 == pytest.approx(14.0, abs=0.2)
+
+
+from repro.traces.synthetic import (  # noqa: E402
+    FlashCrowdConfig,
+    MultiTenantConfig,
+    WriteBurstConfig,
+    generate_flash_crowd,
+    generate_multi_tenant,
+    generate_write_burst,
+)
+
+
+class TestFlashCrowd:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_flash_crowd(FlashCrowdConfig(
+            duration=1200.0, base_rate=40.0, spike_factor=8.0,
+            spike_start=600.0, spike_duration=200.0, num_extents=800, seed=2))
+
+    def test_spike_window_rate_elevated(self, trace):
+        """Arrivals inside the spike window run near spike_factor times
+        the baseline."""
+        in_spike = np.count_nonzero((trace.times >= 600.0) & (trace.times < 800.0))
+        before = np.count_nonzero(trace.times < 600.0)
+        spike_rate = in_spike / 200.0
+        base_rate = before / 600.0
+        assert spike_rate > 5.0 * base_rate
+
+    def test_spike_concentrates_on_hot_set(self, trace):
+        """Spike traffic piles onto a tiny hot set — the flash-crowd
+        signature that defeats naive per-extent cooling."""
+        spike = trace.slice_time(600.0, 800.0)
+        calm = trace.slice_time(0.0, 600.0)
+
+        def top_share(t, k):
+            counts = np.sort(np.bincount(t.extents, minlength=800))[::-1]
+            return counts[:k].sum() / max(1, counts.sum())
+
+        hot_k = max(1, int(800 * 0.02))
+        assert top_share(spike, hot_k) > 0.5
+        assert top_share(spike, hot_k) > 2.0 * top_share(calm, hot_k)
+
+    def test_read_mostly_and_sized(self, trace):
+        assert trace.read_fraction == pytest.approx(0.85, abs=0.03)
+        assert set(np.unique(trace.sizes)) <= {4096, 65536}
+
+    def test_reproducible(self):
+        cfg = FlashCrowdConfig(duration=120.0, spike_start=60.0,
+                               spike_duration=20.0, seed=6)
+        a, b = generate_flash_crowd(cfg), generate_flash_crowd(cfg)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.extents, b.extents)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(spike_factor=0.5)
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(hot_bias=1.5)
+
+
+class TestMultiTenant:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_multi_tenant(MultiTenantConfig(
+            duration=2400.0, num_tenants=4, base_rate=15.0, burst_factor=6.0,
+            burst_period=600.0, num_extents=800, seed=3))
+
+    def test_partitions_are_disjoint_and_cover(self, trace):
+        """Each tenant owns a contiguous quarter; every extent touched
+        falls inside exactly one partition by construction."""
+        bounds = np.linspace(0, 800, 5).astype(int)
+        touched = np.unique(trace.extents)
+        assert touched.min() >= 0 and touched.max() < 800
+        per_tenant = [np.count_nonzero((touched >= bounds[i]) & (touched < bounds[i + 1]))
+                      for i in range(4)]
+        assert all(n > 0 for n in per_tenant)
+
+    def test_bursts_rotate_across_tenants(self, trace):
+        """During tenant i's burst window its partition carries the most
+        traffic — interference moves around instead of sitting still."""
+        bounds = np.linspace(0, 800, 5).astype(int)
+        for tenant in range(4):
+            window = trace.slice_time(tenant * 600.0, (tenant + 1) * 600.0)
+            loads = [np.count_nonzero((window.extents >= bounds[i])
+                                      & (window.extents < bounds[i + 1]))
+                     for i in range(4)]
+            assert int(np.argmax(loads)) == tenant
+
+    def test_reproducible(self):
+        cfg = MultiTenantConfig(duration=300.0, burst_period=100.0, seed=4)
+        a, b = generate_multi_tenant(cfg), generate_multi_tenant(cfg)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.extents, b.extents)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiTenantConfig(num_tenants=0)
+        with pytest.raises(ValueError):
+            MultiTenantConfig(num_tenants=8, num_extents=4)
+        with pytest.raises(ValueError):
+            MultiTenantConfig(burst_factor=0.5)
+
+
+class TestWriteBurst:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_write_burst(WriteBurstConfig(
+            duration=1800.0, read_rate=60.0, checkpoint_period=600.0,
+            sweep_rate=400.0, sweep_fraction=0.1, num_extents=800, seed=5))
+
+    def test_checkpoints_are_write_bursts(self, trace):
+        """Windows covering a sweep (80 extents at 400/s = 0.2 s burst)
+        are write-heavy; mid-period windows are read-dominated."""
+        after = trace.slice_time(600.0, 600.5)
+        between = trace.slice_time(300.0, 360.0)
+        assert after.read_fraction < 0.5
+        assert between.read_fraction > 0.9
+
+    def test_sweeps_are_sequential_large_writes(self, trace):
+        writes = trace.extents[trace.kinds == 1]
+        sizes = trace.sizes[trace.kinds == 1]
+        assert sizes.min() >= 262144
+        # A sweep walks consecutive extents: most write-to-write steps
+        # advance by exactly one extent.
+        steps = np.diff(writes)
+        assert np.count_nonzero(steps == 1) > 0.8 * len(steps)
+
+    def test_sweep_covers_configured_fraction(self, trace):
+        writes = np.unique(trace.extents[trace.kinds == 1])
+        # Each sweep touches ~10% of the volume; rotating starts mean
+        # several sweeps touch more than one sweep's worth in total.
+        assert len(writes) >= int(800 * 0.1)
+
+    def test_reproducible(self):
+        cfg = WriteBurstConfig(duration=300.0, checkpoint_period=100.0, seed=8)
+        a, b = generate_write_burst(cfg), generate_write_burst(cfg)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.kinds, b.kinds)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteBurstConfig(checkpoint_period=0.0)
+        with pytest.raises(ValueError):
+            WriteBurstConfig(sweep_fraction=0.0)
+        with pytest.raises(ValueError):
+            WriteBurstConfig(sweep_fraction=1.5)

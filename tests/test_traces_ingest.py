@@ -1,0 +1,541 @@
+"""Unit tests for real-trace ingestion (repro.traces.ingest)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cache import content_key
+from repro.analysis.parallel import PolicySpec, RunSpec, TraceSpec
+from repro.traces.ingest import (
+    SECTOR_BYTES,
+    FieldMap,
+    IngestOptions,
+    file_sha256,
+    import_trace,
+    load_blkparse,
+    load_generic_csv,
+    load_msr,
+    rescale_extents,
+    rescale_time,
+    scale_intensity,
+)
+from repro.traces.io import TraceFormatError
+from tests.conftest import make_trace, poisson_trace
+
+DATA = Path(__file__).parent / "data"
+MIB = 1 << 20
+
+
+# -- MSR loader ---------------------------------------------------------------
+
+
+class TestMsrLoader:
+    def test_parses_sorts_and_rebases(self):
+        result = import_trace(DATA / "msr_tiny.csv", "msr",
+                              IngestOptions(extent_bytes=MIB))
+        trace = result.trace
+        # Rows 2 and 3 are out of order in the file; ticks are 100 ns.
+        assert trace.times.tolist() == [0.0, 0.5, 1.0, 2.0]
+        assert trace.extents.tolist() == [6, 3, 1, 6]
+        assert trace.kinds.tolist() == [0, 0, 1, 0]
+        assert trace.offsets[0] == 7014400 - 6 * MIB
+        assert trace.sizes.tolist() == [8192, 16384, 4096, 8192]
+        assert trace.num_extents == 7  # highest extent + 1, inferred
+
+    def test_provenance_record(self):
+        path = DATA / "msr_tiny.csv"
+        result = import_trace(path, "msr", IngestOptions(extent_bytes=MIB))
+        prov = result.provenance
+        assert prov.format == "msr"
+        assert prov.source == str(path)
+        assert prov.sha256 == file_sha256(path)
+        assert prov.num_requests == 4
+        assert prov.skipped_lines == 0
+        assert prov.read_fraction == 0.75
+        assert prov.transforms == ()
+        assert prov.to_dict()["sha256"] == prov.sha256
+        assert ("format", "msr") in prov.rows()
+
+    def test_default_name_is_file_stem(self):
+        assert import_trace(DATA / "msr_tiny.csv", "msr").trace.name == "msr_tiny"
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("# comment\n\n128166372003061629,h,0,Read,0,4096,1\n")
+        result = load_msr(path)
+        assert len(result.trace) == 1
+        assert result.provenance.skipped_lines == 2
+
+    @pytest.mark.parametrize("row,match", [
+        ("bad,h,0,Read,0,4096,1", r"m\.csv:1: timestamp"),
+        ("1,h,0,Read,zero,4096,1", r"m\.csv:1: offset"),
+        ("1,h,0,Read,0,4k,1", r"m\.csv:1: size"),
+        ("1,h,0,Fetch,0,4096,1", r"m\.csv:1: type"),
+        ("1,h,0", r"m\.csv:1: expected >= 6"),
+    ])
+    def test_malformed_rows_carry_path_and_line(self, tmp_path, row, match):
+        path = tmp_path / "m.csv"
+        path.write_text(row + "\n")
+        with pytest.raises(TraceFormatError, match=match):
+            load_msr(path)
+
+    def test_gzip_source(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "m.csv.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("128166372003061629,h,0,Read,0,4096,1\n")
+        assert len(load_msr(path).trace) == 1
+
+
+# -- blkparse loader ----------------------------------------------------------
+
+
+class TestBlkparseLoader:
+    def test_keeps_only_queue_records(self):
+        result = import_trace(DATA / "blkparse_tiny.txt", "blkparse")
+        trace = result.trace
+        # 4 Q records in the file; the zero-length 'N' one is dropped.
+        assert len(trace) == 3
+        assert trace.kinds.tolist() == [0, 1, 0]
+        # Sector 2384 * 512 = extent 1 at 1 MiB extents... offsets kept.
+        assert trace.extents.tolist() == [
+            2384 * SECTOR_BYTES // MIB,
+            10240 * SECTOR_BYTES // MIB,
+            496 * SECTOR_BYTES // MIB,
+        ]
+        assert trace.sizes.tolist() == [8 * SECTOR_BYTES, 16 * SECTOR_BYTES,
+                                        32 * SECTOR_BYTES]
+        # Summary section + blank line + non-Q records all counted skipped.
+        assert result.provenance.skipped_lines == 7
+
+    def test_times_rebase_to_first_kept_record(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text(
+            "8,0 1 1 5.000000000 9 Q R 0 + 8 [p]\n"
+            "8,0 1 2 5.250000000 9 Q W 8 + 8 [p]\n"
+        )
+        trace = load_blkparse(path).trace
+        assert trace.times.tolist() == [0.0, 0.25]
+
+    def test_malformed_q_record_carries_line(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("8,0 1 1 notatime 9 Q R 0 + 8 [p]\n")
+        with pytest.raises(TraceFormatError, match=r"b\.txt:1: timestamp"):
+            load_blkparse(path)
+
+
+# -- generic CSV loader -------------------------------------------------------
+
+
+class TestGenericCsvLoader:
+    def test_field_map_units_and_read_tokens(self):
+        options = IngestOptions(
+            extent_bytes=MIB,
+            field_map=FieldMap(time="ts", kind="op", offset="lba", size="len",
+                               time_unit="ms", offset_unit="sectors",
+                               read_values=("r",)),
+        )
+        trace = import_trace(DATA / "generic_tiny.csv", "csv", options).trace
+        assert trace.times.tolist() == [0.0, 0.25, 0.5, 0.75]
+        # 'W' and the unknown token 'x' are writes; 'R'/'r' are reads.
+        assert trace.kinds.tolist() == [0, 1, 0, 1]
+        assert trace.sizes.tolist() == [8 * SECTOR_BYTES, 16 * SECTOR_BYTES,
+                                        8 * SECTOR_BYTES, 8 * SECTOR_BYTES]
+
+    def test_headerless_integer_columns(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("0.5;0;4096\n1.5;2097152;8192\n")
+        options = IngestOptions(field_map=FieldMap(
+            time=0, kind=None, offset=1, size=2,
+            delimiter=";", has_header=False,
+        ))
+        trace = load_generic_csv(path, options).trace
+        assert trace.times.tolist() == [0.0, 1.0]  # rebased
+        assert trace.kinds.tolist() == [0, 0]  # no kind column -> all reads
+        assert trace.extents.tolist() == [0, 2]
+
+    def test_default_size_when_no_size_column(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("time,offset\n0.0,0\n")
+        options = IngestOptions(field_map=FieldMap(
+            kind=None, size=None, default_size_bytes=512))
+        assert load_generic_csv(path, options).trace.sizes.tolist() == [512]
+
+    def test_named_column_requires_header(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("0.0,0\n")
+        options = IngestOptions(field_map=FieldMap(has_header=False))
+        with pytest.raises(TraceFormatError, match="has_header is False"):
+            load_generic_csv(path, options)
+
+    def test_unknown_column_name_rejected(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("a,b\n0.0,0\n")
+        with pytest.raises(TraceFormatError, match="'time' not in header"):
+            load_generic_csv(path, IngestOptions())
+
+    def test_empty_file_rejected_when_header_expected(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="empty file"):
+            load_generic_csv(path, IngestOptions())
+
+    def test_short_row_carries_line(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("time,kind,offset,size\n0.0,R\n")
+        with pytest.raises(TraceFormatError, match=r"g\.csv:2: expected >="):
+            load_generic_csv(path, IngestOptions())
+
+
+# -- shared validation --------------------------------------------------------
+
+
+class TestSharedValidation:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown ingest format"):
+            import_trace(DATA / "msr_tiny.csv", "nfs")
+
+    def test_num_extents_too_small_rejected(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("1,h,0,Read,5242880,4096,1\n")
+        with pytest.raises(TraceFormatError, match="outside the requested"):
+            load_msr(path, IngestOptions(extent_bytes=MIB, num_extents=2))
+
+    def test_negative_offset_rejected(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("1,h,0,Read,-4096,4096,1\n")
+        with pytest.raises(TraceFormatError, match="negative offset"):
+            load_msr(path)
+
+    def test_zero_size_rejected(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("1,h,0,Read,0,0,1\n")
+        with pytest.raises(TraceFormatError, match="non-positive size"):
+            load_msr(path)
+
+    def test_empty_source_yields_empty_trace(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("# nothing here\n")
+        result = load_msr(path, IngestOptions(num_extents=4))
+        assert len(result.trace) == 0
+        assert result.trace.num_extents == 4
+        assert result.provenance.num_requests == 0
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError, match="at most one"):
+            IngestOptions(target_duration_s=10.0, target_iops=5.0)
+        with pytest.raises(ValueError, match="intensity"):
+            IngestOptions(intensity=0.0)
+        with pytest.raises(ValueError, match="extent_bytes"):
+            IngestOptions(extent_bytes=0)
+        with pytest.raises(ValueError, match="time_unit"):
+            FieldMap(time_unit="h")
+        with pytest.raises(ValueError, match="offset_unit"):
+            FieldMap(offset_unit="tracks")
+
+
+# -- modernization transforms -------------------------------------------------
+
+
+class TestRescaleTime:
+    def test_to_duration(self):
+        trace = make_trace([0.0, 5.0, 10.0])
+        scaled = rescale_time(trace, duration_s=20.0)
+        assert scaled.times.tolist() == [0.0, 10.0, 20.0]
+        assert scaled.num_extents == trace.num_extents
+
+    def test_to_iops(self):
+        trace = make_trace([0.0, 1.0, 2.0, 3.0])  # 4 req / 3 s
+        scaled = rescale_time(trace, iops=8.0)
+        assert scaled.duration == pytest.approx(0.5)
+        assert len(scaled) == 4
+
+    def test_preserves_interarrival_shape(self):
+        trace = make_trace([0.0, 1.0, 1.1, 9.0])
+        scaled = rescale_time(trace, duration_s=18.0)
+        gaps = np.diff(scaled.times)
+        assert gaps.tolist() == pytest.approx([2.0, 0.2, 15.8])
+
+    def test_validation(self):
+        trace = make_trace([0.0, 1.0])
+        with pytest.raises(ValueError, match="exactly one"):
+            rescale_time(trace)
+        with pytest.raises(ValueError, match="exactly one"):
+            rescale_time(trace, duration_s=1.0, iops=1.0)
+        with pytest.raises(ValueError, match="empty or zero-duration"):
+            rescale_time(make_trace([]), duration_s=1.0)
+
+
+class TestRescaleExtents:
+    def test_preserves_popularity_ranking(self):
+        # Extent 3 hottest, then 7, then 1; folding 10 extents onto 5
+        # merges adjacent popularity ranks pairwise (rank // 2).
+        trace = make_trace(
+            [float(i) for i in range(6)],
+            extents=[3, 3, 3, 7, 7, 1],
+            num_extents=10,
+        )
+        scaled = rescale_extents(trace, 5, seed=1)
+        assert scaled.num_extents == 5
+        counts = np.bincount(scaled.extents, minlength=5)
+        by_src = {3: scaled.extents[0], 7: scaled.extents[3], 1: scaled.extents[5]}
+        # The two hottest source extents (ranks 0 and 1) fold together;
+        # the third-hottest lands in a different, cooler target.
+        assert by_src[3] == by_src[7]
+        assert by_src[1] != by_src[3]
+        assert counts[by_src[3]] == 5
+        assert counts[by_src[1]] == 1
+
+    def test_shrinking_folds_and_growing_spreads(self):
+        trace = poisson_trace(rate=80.0, duration=30.0, num_extents=80)
+        shrunk = rescale_extents(trace, 16, seed=2)
+        grown = rescale_extents(trace, 400, seed=2)
+        assert shrunk.extents.max() < 16
+        assert grown.num_extents == 400
+        # Same request count, times untouched.
+        for scaled in (shrunk, grown):
+            assert len(scaled) == len(trace)
+            assert np.array_equal(scaled.times, trace.times)
+
+    def test_preserves_hot_set_concentration(self):
+        trace = poisson_trace(rate=200.0, duration=60.0, num_extents=80,
+                              zipf_theta=1.1)
+        scaled = rescale_extents(trace, 40, seed=3)
+
+        def top_decile_share(t):
+            counts = np.sort(np.bincount(t.extents, minlength=t.num_extents))[::-1]
+            top = max(1, t.num_extents // 10)
+            return counts[:top].sum() / counts.sum()
+
+        # Folding halves the space; the skew must not collapse.
+        assert top_decile_share(scaled) >= 0.8 * top_decile_share(trace)
+
+    def test_deterministic_and_seed_sensitive(self):
+        trace = poisson_trace(num_extents=80)
+        a = rescale_extents(trace, 40, seed=5)
+        b = rescale_extents(trace, 40, seed=5)
+        c = rescale_extents(trace, 40, seed=6)
+        assert np.array_equal(a.extents, b.extents)
+        assert not np.array_equal(a.extents, c.extents)
+
+
+class TestScaleIntensity:
+    def test_identity(self):
+        trace = make_trace([0.0, 1.0])
+        same = scale_intensity(trace, 1.0)
+        assert np.array_equal(same.times, trace.times)
+        assert same.name == trace.name
+
+    def test_thinning(self):
+        trace = make_trace([float(i) for i in range(1000)])
+        thinned = scale_intensity(trace, 0.25, seed=3)
+        assert 150 < len(thinned) < 350
+        assert np.all(np.diff(thinned.times) >= 0)
+
+    def test_superposition_scales_count(self):
+        trace = poisson_trace(rate=100.0, duration=30.0)
+        doubled = scale_intensity(trace, 2.0, seed=3)
+        assert len(doubled) == 2 * len(trace)
+        assert np.all(np.diff(doubled.times) >= 0)
+        x2_5 = scale_intensity(trace, 2.5, seed=3)
+        assert abs(len(x2_5) - 2.5 * len(trace)) < 0.25 * len(trace)
+
+    def test_superposition_preserves_mix(self):
+        trace = poisson_trace(rate=100.0, duration=30.0, read_fraction=0.7)
+        scaled = scale_intensity(trace, 3.0, seed=4)
+        assert scaled.read_fraction == pytest.approx(trace.read_fraction, abs=0.05)
+        assert scaled.num_extents == trace.num_extents
+
+    def test_deterministic(self):
+        trace = poisson_trace()
+        a = scale_intensity(trace, 1.7, seed=9)
+        b = scale_intensity(trace, 1.7, seed=9)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.extents, b.extents)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="factor"):
+            scale_intensity(make_trace([0.0]), 0.0)
+
+
+class TestModernizationPipeline:
+    def test_fixed_order_and_provenance(self):
+        options = IngestOptions(
+            extent_bytes=MIB,
+            target_extents=4,
+            target_duration_s=10.0,
+            intensity=2.0,
+            seed=5,
+        )
+        result = import_trace(DATA / "msr_tiny.csv", "msr", options)
+        assert result.provenance.transforms == (
+            "extents->4", "duration->10s", "intensity x2",
+        )
+        assert result.trace.num_extents == 4
+        assert result.provenance.num_requests == len(result.trace) == 8
+
+    def test_same_options_same_trace(self):
+        options = IngestOptions(target_extents=4, target_duration_s=10.0,
+                                intensity=2.0, seed=5)
+        a = import_trace(DATA / "msr_tiny.csv", "msr", options).trace
+        b = import_trace(DATA / "msr_tiny.csv", "msr", options).trace
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.extents, b.extents)
+
+
+# -- TraceSpec threading and cache keys ---------------------------------------
+
+
+def _run_spec(trace_spec):
+    from repro.analysis.experiments import default_array_config
+
+    return RunSpec(
+        trace=trace_spec,
+        array=default_array_config(num_disks=4, num_extents=8),
+        policy=PolicySpec.named("base"),
+    )
+
+
+class TestTraceSpecImport:
+    def test_build_routes_through_ingest(self):
+        spec = TraceSpec.from_import(str(DATA / "msr_tiny.csv"), "msr",
+                                     IngestOptions(extent_bytes=MIB))
+        trace = spec.build()
+        assert len(trace) == 4
+        assert trace.extents.tolist() == [6, 3, 1, 6]
+
+    def test_unknown_format_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown ingest format"):
+            TraceSpec.from_import(str(DATA / "msr_tiny.csv"), "nfs")
+
+    def test_key_ignores_path_but_tracks_content(self, tmp_path):
+        source = (DATA / "msr_tiny.csv").read_text()
+        a_path, b_path = tmp_path / "a.csv", tmp_path / "else.csv"
+        a_path.write_text(source)
+        b_path.write_text(source)
+        options = IngestOptions(extent_bytes=MIB)
+        key_a = content_key(_run_spec(TraceSpec.from_import(str(a_path), "msr", options)))
+        key_b = content_key(_run_spec(TraceSpec.from_import(str(b_path), "msr", options)))
+        assert key_a == key_b  # same bytes, different path
+
+        b_path.write_text(source + "128166372093061629,h,0,Read,0,4096,1\n")
+        key_changed = content_key(
+            _run_spec(TraceSpec.from_import(str(b_path), "msr", options)))
+        assert key_changed != key_a  # content changed -> key changed
+
+    def test_key_tracks_format_and_options(self):
+        path = str(DATA / "msr_tiny.csv")
+        base = content_key(_run_spec(
+            TraceSpec.from_import(path, "msr", IngestOptions(extent_bytes=MIB))))
+        other_opts = content_key(_run_spec(
+            TraceSpec.from_import(path, "msr",
+                                  IngestOptions(extent_bytes=MIB, intensity=2.0))))
+        assert base != other_opts
+
+    def test_plain_file_key_is_content_keyed_too(self, tmp_path):
+        from repro.traces.io import save_trace
+
+        trace = make_trace([0.0, 1.0], num_extents=8)
+        a_path, b_path = tmp_path / "a.csv", tmp_path / "b.csv"
+        save_trace(trace, a_path)
+        save_trace(trace, b_path)
+        assert (content_key(_run_spec(TraceSpec.from_file(str(a_path))))
+                == content_key(_run_spec(TraceSpec.from_file(str(b_path)))))
+
+    def test_imported_run_is_jobs_invariant(self, tmp_path):
+        from repro.analysis.parallel import execute
+        from repro.perf.digest import result_digest
+
+        spec = _run_spec(TraceSpec.from_import(
+            str(DATA / "msr_tiny.csv"), "msr",
+            IngestOptions(extent_bytes=MIB, target_extents=8,
+                          target_duration_s=5.0, intensity=3.0, seed=2),
+        ))
+        serial = execute([spec, spec], jobs=1)
+        parallel = execute([spec, spec], jobs=2)
+        assert [result_digest(r) for r in serial] == \
+           [result_digest(r) for r in parallel]
+
+
+# -- hypothesis round-trips per loader ----------------------------------------
+
+
+_requests = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10**9),  # time in us
+        st.booleans(),
+        st.integers(min_value=0, max_value=2**30),  # offset bytes
+        st.integers(min_value=1, max_value=2**20),  # size bytes
+    ),
+    min_size=1, max_size=16,
+)
+
+
+def _expected(rows, offset_round=1):
+    """(times_us, reads, extents, sizes) after sort+rebase at 1 MiB."""
+    rows = sorted(rows, key=lambda r: r[0])
+    t0 = rows[0][0]
+    return [
+        ((r[0] - t0), r[1], (r[2] // offset_round * offset_round) // MIB, r[3])
+        for r in rows
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=_requests)
+def test_msr_roundtrip_property(tmp_path_factory, rows):
+    path = tmp_path_factory.mktemp("msr") / "t.csv"
+    with open(path, "w") as fh:
+        for time_us, read, offset, size in rows:
+            kind = "Read" if read else "Write"
+            fh.write(f"{time_us * 10},host,0,{kind},{offset},{size},1\n")
+    trace = load_msr(path, IngestOptions(extent_bytes=MIB)).trace
+    expected = _expected(rows)
+    assert len(trace) == len(rows)
+    assert trace.times.tolist() == pytest.approx(
+        [e[0] / 1e6 for e in expected], abs=1e-9)
+    assert trace.kinds.tolist() == [0 if e[1] else 1 for e in expected]
+    assert trace.extents.tolist() == [e[2] for e in expected]
+    assert trace.sizes.tolist() == [e[3] for e in expected]
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=_requests)
+def test_blkparse_roundtrip_property(tmp_path_factory, rows):
+    path = tmp_path_factory.mktemp("blk") / "t.txt"
+    with open(path, "w") as fh:
+        for i, (time_us, read, offset, size) in enumerate(rows):
+            rwbs = "R" if read else "W"
+            sector = offset // SECTOR_BYTES
+            nsectors = max(1, size // SECTOR_BYTES)
+            fh.write(f"8,0 0 {i} {time_us / 1e6:.9f} 99 Q {rwbs} "
+                     f"{sector} + {nsectors} [hyp]\n")
+    trace = load_blkparse(path, IngestOptions(extent_bytes=MIB)).trace
+    expected = _expected(rows, offset_round=SECTOR_BYTES)
+    assert len(trace) == len(rows)
+    assert trace.kinds.tolist() == [0 if e[1] else 1 for e in expected]
+    assert trace.extents.tolist() == [e[2] for e in expected]
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=_requests)
+def test_generic_csv_roundtrip_property(tmp_path_factory, rows):
+    path = tmp_path_factory.mktemp("csv") / "t.csv"
+    with open(path, "w") as fh:
+        fh.write("time,kind,offset,size\n")
+        for time_us, read, offset, size in rows:
+            fh.write(f"{time_us},{'R' if read else 'W'},{offset},{size}\n")
+    options = IngestOptions(extent_bytes=MIB,
+                            field_map=FieldMap(time_unit="us"))
+    trace = load_generic_csv(path, options).trace
+    expected = _expected(rows)
+    assert len(trace) == len(rows)
+    assert trace.kinds.tolist() == [0 if e[1] else 1 for e in expected]
+    assert trace.extents.tolist() == [e[2] for e in expected]
+    assert trace.sizes.tolist() == [e[3] for e in expected]
